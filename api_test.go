@@ -1,0 +1,207 @@
+package hastm_test
+
+// Tests of the public facade: everything a downstream user touches,
+// exercised only through the exported API.
+
+import (
+	"errors"
+	"testing"
+
+	"hastm.dev/hastm"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(2))
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.LineGranularity))
+	ctr := machine.Mem.Alloc(64, 64)
+
+	prog := func(c *hastm.Core) {
+		th := sys.Thread(c)
+		for i := 0; i < 50; i++ {
+			if err := th.Atomic(func(tx hastm.Txn) error {
+				tx.Store(ctr, tx.Load(ctr)+1)
+				return nil
+			}); err != nil {
+				t.Errorf("Atomic: %v", err)
+			}
+		}
+	}
+	wall := machine.Run(prog, prog)
+	if got := machine.Mem.Load(ctr); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	if wall == 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if machine.Stats.Commits() != 100 {
+		t.Fatalf("commits = %d", machine.Stats.Commits())
+	}
+}
+
+func TestPublicEverySchemeRuns(t *testing.T) {
+	builders := map[string]func(*hastm.Machine) hastm.System{
+		"hastm": func(m *hastm.Machine) hastm.System {
+			return hastm.New(m, hastm.DefaultConfig(hastm.LineGranularity))
+		},
+		"hastm-cautious": func(m *hastm.Machine) hastm.System {
+			return hastm.NewCautious(m, hastm.DefaultConfig(hastm.LineGranularity))
+		},
+		"hastm-noreuse": func(m *hastm.Machine) hastm.System {
+			return hastm.NewNoReuse(m, hastm.DefaultConfig(hastm.LineGranularity))
+		},
+		"naive": func(m *hastm.Machine) hastm.System {
+			return hastm.NewNaiveAggressive(m, hastm.DefaultConfig(hastm.LineGranularity))
+		},
+		"stm": func(m *hastm.Machine) hastm.System {
+			return hastm.NewSTM(m, hastm.TMConfig{Granularity: hastm.LineGranularity})
+		},
+		"hytm": func(m *hastm.Machine) hastm.System {
+			return hastm.NewHyTM(m, hastm.TMConfig{Granularity: hastm.LineGranularity}, 4)
+		},
+		"htm":  func(m *hastm.Machine) hastm.System { return hastm.NewHTM(m) },
+		"lock": func(m *hastm.Machine) hastm.System { return hastm.NewLock(m) },
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			machine := hastm.NewMachine(hastm.DefaultMachineConfig(2))
+			sys := build(machine)
+			if sys.Name() == "" {
+				t.Error("scheme has no name")
+			}
+			a := machine.Mem.Alloc(64, 64)
+			b := machine.Mem.Alloc(64, 64)
+			machine.Mem.Store(a, 500)
+			prog := func(c *hastm.Core) {
+				th := sys.Thread(c)
+				for i := 0; i < 25; i++ {
+					if err := th.Atomic(func(tx hastm.Txn) error {
+						va := tx.Load(a)
+						if va == 0 {
+							return nil
+						}
+						tx.Store(a, va-1)
+						tx.Store(b, tx.Load(b)+1)
+						return nil
+					}); err != nil {
+						t.Errorf("Atomic: %v", err)
+					}
+				}
+			}
+			machine.Run(prog, prog)
+			if sum := machine.Mem.Load(a) + machine.Mem.Load(b); sum != 500 {
+				t.Fatalf("invariant violated under %s: sum = %d", name, sum)
+			}
+		})
+	}
+}
+
+func TestPublicObjectGranularity(t *testing.T) {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(1))
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.ObjectGranularity))
+	obj := hastm.AllocObject(machine, 16)
+	machine.Run(func(c *hastm.Core) {
+		th := sys.Thread(c)
+		if err := th.Atomic(func(tx hastm.Txn) error {
+			tx.StoreObj(obj, 8, 11)
+			tx.StoreObj(obj, 16, 22)
+			if tx.LoadObj(obj, 8) != 11 {
+				t.Error("read-after-write failed")
+			}
+			return nil
+		}); err != nil {
+			t.Errorf("Atomic: %v", err)
+		}
+	})
+	if machine.Mem.Load(obj+8) != 11 || machine.Mem.Load(obj+16) != 22 {
+		t.Fatal("object fields not committed")
+	}
+}
+
+func TestPublicUserAbort(t *testing.T) {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(1))
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.LineGranularity))
+	addr := machine.Mem.Alloc(64, 64)
+	machine.Run(func(c *hastm.Core) {
+		th := sys.Thread(c)
+		err := th.Atomic(func(tx hastm.Txn) error {
+			tx.Store(addr, 9)
+			tx.Abort()
+			return nil
+		})
+		if !errors.Is(err, hastm.ErrUserAbort) {
+			t.Errorf("err = %v, want ErrUserAbort", err)
+		}
+	})
+	if machine.Mem.Load(addr) != 0 {
+		t.Fatal("abort did not roll back")
+	}
+}
+
+func TestPublicGCPause(t *testing.T) {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(1))
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.LineGranularity))
+	addr := machine.Mem.Alloc(64, 64)
+	inspected := false
+	machine.Run(func(c *hastm.Core) {
+		th := sys.Thread(c)
+		if err := th.Atomic(func(tx hastm.Txn) error {
+			tx.Store(addr, 5)
+			hastm.GCPause(th, func(reads, writes []hastm.RecEntry, undo []hastm.UndoEntry) {
+				inspected = len(writes) == 1 && len(undo) == 1
+			})
+			return nil
+		}); err != nil {
+			t.Errorf("Atomic: %v", err)
+		}
+	})
+	if !inspected {
+		t.Fatal("GC pause did not expose the logs")
+	}
+	if machine.Mem.Load(addr) != 5 {
+		t.Fatal("transaction lost its write across the pause")
+	}
+}
+
+func TestPublicGCPauseRejectsHTM(t *testing.T) {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(1))
+	sys := hastm.NewHTM(machine)
+	machine.Run(func(c *hastm.Core) {
+		th := sys.Thread(c)
+		_ = th.Atomic(func(tx hastm.Txn) error {
+			defer func() {
+				if recover() == nil {
+					t.Error("GCPause on a hardware transaction must panic (restricted semantics)")
+				}
+			}()
+			hastm.GCPause(th, nil)
+			return nil
+		})
+	})
+}
+
+// TestPublicDefaultISA verifies the Section 3.3 story end-to-end through
+// the public API: the same HASTM code runs correctly on a machine that
+// implements only the default (no-op) behaviour of the new instructions.
+func TestPublicDefaultISA(t *testing.T) {
+	cfg := hastm.DefaultMachineConfig(2)
+	cfg.DefaultISA = true
+	machine := hastm.NewMachine(cfg)
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.LineGranularity))
+	ctr := machine.Mem.Alloc(64, 64)
+	prog := func(c *hastm.Core) {
+		th := sys.Thread(c)
+		for i := 0; i < 30; i++ {
+			if err := th.Atomic(func(tx hastm.Txn) error {
+				tx.Store(ctr, tx.Load(ctr)+1)
+				return nil
+			}); err != nil {
+				t.Errorf("Atomic: %v", err)
+			}
+		}
+	}
+	machine.Run(prog, prog)
+	if got := machine.Mem.Load(ctr); got != 60 {
+		t.Fatalf("counter = %d, want 60", got)
+	}
+}

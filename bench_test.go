@@ -1,0 +1,124 @@
+package hastm_test
+
+// One benchmark per table/figure of the paper's evaluation (§7). Each
+// benchmark regenerates its figure at reduced size (harness.QuickOptions)
+// and reports the figure's headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints a compact reproduction of the whole evaluation. The cmd/hastm-bench
+// binary runs the same experiments at full size.
+
+import (
+	"testing"
+
+	"hastm.dev/hastm/internal/harness"
+)
+
+func benchFigure(b *testing.B, id string, metrics func(*harness.Report, *testing.B)) {
+	b.Helper()
+	spec, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	o := harness.QuickOptions()
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		rep = spec.Run(o)
+	}
+	if metrics != nil {
+		metrics(rep, b)
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 (STM vs lock, 1–16 processors).
+func BenchmarkFig11(b *testing.B) {
+	benchFigure(b, "fig11", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("bst", "stm", "1"), "stm-1p-x")
+		b.ReportMetric(r.MustGet("bst", "stm", "16"), "stm-16p-x")
+		b.ReportMetric(r.MustGet("bst", "lock", "16"), "lock-16p-x")
+	})
+}
+
+// BenchmarkFig12 regenerates Figure 12 (STM execution-time breakdown).
+func BenchmarkFig12(b *testing.B) {
+	benchFigure(b, "fig12", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("breakdown", "bst", "rdbar"), "bst-rdbar-%")
+		b.ReportMetric(r.MustGet("breakdown", "bst", "validate"), "bst-validate-%")
+	})
+}
+
+// BenchmarkFig13 regenerates Figure 13 (workload loads/reuse analysis).
+func BenchmarkFig13(b *testing.B) {
+	benchFigure(b, "fig13", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("workload analysis", "moldyn", "% loads"), "moldyn-loads-%")
+		b.ReportMetric(r.MustGet("workload analysis", "bp-vision", "load reuse %"), "bpvision-reuse-%")
+	})
+}
+
+// BenchmarkFig15 regenerates Figure 15 (microbenchmark sweep).
+func BenchmarkFig15(b *testing.B) {
+	benchFigure(b, "fig15", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("60% cache reuse", "HASTM", "90%"), "hastm-60r-90l-x")
+		b.ReportMetric(r.MustGet("60% cache reuse", "Hybrid", "90%"), "hybrid-60r-90l-x")
+	})
+}
+
+// BenchmarkFig16 regenerates Figure 16 (single-thread TM comparison).
+func BenchmarkFig16(b *testing.B) {
+	benchFigure(b, "fig16", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("single-thread", "hastm", "btree"), "hastm-btree-x")
+		b.ReportMetric(r.MustGet("single-thread", "hytm", "btree"), "hytm-btree-x")
+		b.ReportMetric(r.MustGet("single-thread", "stm", "btree"), "stm-btree-x")
+	})
+}
+
+// BenchmarkFig17 regenerates Figure 17 (HASTM ablation).
+func BenchmarkFig17(b *testing.B) {
+	benchFigure(b, "fig17", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("ablation", "hastm", "bst"), "hastm-bst-x")
+		b.ReportMetric(r.MustGet("ablation", "hastm-cautious", "bst"), "cautious-bst-x")
+		b.ReportMetric(r.MustGet("ablation", "hastm-noreuse", "bst"), "noreuse-bst-x")
+	})
+}
+
+// BenchmarkFig18 regenerates Figure 18 (BST multicore scaling).
+func BenchmarkFig18(b *testing.B) {
+	benchFigure(b, "fig18", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("bst", "hastm", "4"), "hastm-4c-x")
+		b.ReportMetric(r.MustGet("bst", "lock", "4"), "lock-4c-x")
+	})
+}
+
+// BenchmarkFig19 regenerates Figure 19 (B-tree multicore scaling).
+func BenchmarkFig19(b *testing.B) {
+	benchFigure(b, "fig19", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("btree", "hastm", "4"), "hastm-4c-x")
+		b.ReportMetric(r.MustGet("btree", "stm", "4"), "stm-4c-x")
+	})
+}
+
+// BenchmarkFig20 regenerates Figure 20 (hashtable multicore scaling).
+func BenchmarkFig20(b *testing.B) {
+	benchFigure(b, "fig20", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("hashtable", "hastm", "4"), "hastm-4c-x")
+	})
+}
+
+// BenchmarkFig21 regenerates Figure 21 (BST, HASTM vs naive vs STM).
+func BenchmarkFig21(b *testing.B) {
+	benchFigure(b, "fig21", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("bst", "hastm", "4"), "hastm-4c-x")
+		b.ReportMetric(r.MustGet("bst", "naive-aggressive", "4"), "naive-4c-x")
+		b.ReportMetric(r.MustGet("bst", "stm", "4"), "stm-4c-x")
+	})
+}
+
+// BenchmarkFig22 regenerates Figure 22 (B-tree, HASTM vs naive vs STM).
+func BenchmarkFig22(b *testing.B) {
+	benchFigure(b, "fig22", func(r *harness.Report, b *testing.B) {
+		b.ReportMetric(r.MustGet("btree", "hastm", "4"), "hastm-4c-x")
+		b.ReportMetric(r.MustGet("btree", "naive-aggressive", "4"), "naive-4c-x")
+		b.ReportMetric(r.MustGet("btree", "stm", "4"), "stm-4c-x")
+	})
+}

@@ -1,0 +1,79 @@
+// Command hastm-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	hastm-bench               # run every figure at full size
+//	hastm-bench -fig fig16    # one figure
+//	hastm-bench -quick        # reduced sizes (seconds instead of minutes)
+//	hastm-bench -ops 4096     # override the total operation count
+//	hastm-bench -list         # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hastm.dev/hastm/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "run a single figure (e.g. fig16); empty = all")
+		quick = flag.Bool("quick", false, "use reduced experiment sizes")
+		ops   = flag.Int("ops", 0, "override total data-structure operations per run")
+		seed  = flag.Uint64("seed", 1, "deterministic seed")
+		ext   = flag.Bool("ext", false, "also run the extension experiments (ext-*)")
+		csvF  = flag.Bool("csv", false, "emit CSV (long format) instead of text tables")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range harness.All() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
+		for _, s := range harness.Extensions() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	o := harness.DefaultOptions()
+	if *quick {
+		o = harness.QuickOptions()
+	}
+	if *ops > 0 {
+		o.Ops = *ops
+	}
+	o.Seed = *seed
+
+	specs := harness.All()
+	if *ext {
+		specs = append(specs, harness.Extensions()...)
+	}
+	if *fig != "" {
+		s, ok := harness.ByID(strings.ToLower(*fig))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hastm-bench: unknown figure %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		specs = []harness.Spec{s}
+	}
+
+	for _, s := range specs {
+		start := time.Now()
+		rep := s.Run(o)
+		if *csvF {
+			if err := rep.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: csv: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("   [%s regenerated in %v]\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

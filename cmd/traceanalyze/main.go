@@ -1,0 +1,57 @@
+// Command traceanalyze reproduces the paper's §7.2 workload analysis
+// (Fig 13): the fraction of loads and the degree of intra-critical-section
+// cache reuse for the twelve analysed Java/pthreads workloads, plus the
+// same measurement for this repository's transactional data structures
+// (backing the §7.3 reuse claims: hashtable < 3%, BST ~38%, B-tree ~68%).
+//
+// Usage:
+//
+//	traceanalyze                 # the 12 workload profiles
+//	traceanalyze -structures     # also measure hashtable/BST/B-tree
+//	traceanalyze -sections 1000  # more sections per workload
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/workloads"
+	"hastm.dev/hastm/internal/workloads/traces"
+)
+
+func main() {
+	var (
+		sections   = flag.Int("sections", 400, "critical sections generated per workload")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		structures = flag.Bool("structures", false, "also measure the TM data structures")
+	)
+	flag.Parse()
+
+	fmt.Println("workload analysis (Fig 13): memory operations inside critical sections")
+	fmt.Printf("%-14s %10s %14s %15s\n", "workload", "% loads", "load reuse %", "store reuse %")
+	for _, r := range traces.AnalyzeAll(*sections, *seed) {
+		printResult(r)
+	}
+
+	if !*structures {
+		return
+	}
+	fmt.Println("\ntransactional data structures (intra-transaction reuse, §7.3):")
+	fmt.Printf("%-14s %10s %14s %15s\n", "structure", "% loads", "load reuse %", "store reuse %")
+	m := mem.New()
+	h := workloads.NewHashtable(m, 1024)
+	h.Populate(m, workloads.NewRand(*seed))
+	printResult(traces.MeasureStructureReuse(h, m, 1000, 20, *seed))
+	b := workloads.NewBST(m, 512)
+	b.Populate(m, workloads.NewRand(*seed))
+	printResult(traces.MeasureStructureReuse(b, m, 1000, 20, *seed))
+	t := workloads.NewBTree(m, 512)
+	t.Populate(m, workloads.NewRand(*seed))
+	printResult(traces.MeasureStructureReuse(t, m, 1000, 20, *seed))
+}
+
+func printResult(r traces.Result) {
+	fmt.Printf("%-14s %10.1f %14.1f %15.1f\n",
+		r.Name, 100*r.LoadFraction, 100*r.LoadReuse, 100*r.StoreReuse)
+}

@@ -1,0 +1,124 @@
+// Nesting: the rich transaction semantics the paper's §2 demands — closed
+// nesting with partial rollback, and composable blocking with retry and
+// orElse — all running accelerated under HASTM.
+//
+// Part 1 books a two-leg trip: each leg is a nested transaction; when the
+// second leg fails, only that leg rolls back and the code books a
+// different carrier, all within one outer atomic block.
+//
+// Part 2 is a producer/consumer over two bounded queues composed with
+// orElse: the consumer blocks (retry) until either queue has an element,
+// without ever polling application state explicitly.
+//
+//	go run ./examples/nesting
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"hastm.dev/hastm"
+)
+
+var errSoldOut = errors.New("sold out")
+
+func partOneNesting() {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(1))
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.LineGranularity))
+
+	// Seats available per carrier: flights[0] is sold out.
+	flightA := machine.Mem.Alloc(64, 64) // 0 seats
+	flightB := machine.Mem.Alloc(64, 64)
+	machine.Mem.Store(flightB, 5)
+	hotel := machine.Mem.Alloc(64, 64)
+	machine.Mem.Store(hotel, 3)
+
+	book := func(tx hastm.Txn, what uint64) func(hastm.Txn) error {
+		return func(inner hastm.Txn) error {
+			seats := inner.Load(what)
+			if seats == 0 {
+				return errSoldOut
+			}
+			inner.Store(what, seats-1)
+			return nil
+		}
+	}
+
+	machine.Run(func(c *hastm.Core) {
+		th := sys.Thread(c)
+		err := th.Atomic(func(tx hastm.Txn) error {
+			// Leg 1: the hotel.
+			if err := tx.Atomic(book(tx, hotel)); err != nil {
+				return err
+			}
+			// Leg 2: try carrier A; on failure only the nested transaction
+			// rolled back — the hotel booking above is untouched.
+			if err := tx.Atomic(book(tx, flightA)); err != nil {
+				fmt.Printf("  carrier A: %v -> partial rollback, trying carrier B\n", err)
+				if err := tx.Atomic(book(tx, flightB)); err != nil {
+					return err // would roll back the hotel too
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+
+	fmt.Printf("  booked: hotel seats %d->%d, carrier B seats %d->%d\n",
+		3, machine.Mem.Load(hotel), 5, machine.Mem.Load(flightB))
+}
+
+func partTwoOrElse() {
+	machine := hastm.NewMachine(hastm.DefaultMachineConfig(2))
+	sys := hastm.New(machine, hastm.DefaultConfig(hastm.LineGranularity))
+
+	// Two one-slot mailboxes (0 = empty) and an output cell.
+	boxA := machine.Mem.Alloc(64, 64)
+	boxB := machine.Mem.Alloc(64, 64)
+	out := machine.Mem.Alloc(64, 64)
+
+	take := func(box uint64) func(hastm.Txn) error {
+		return func(tx hastm.Txn) error {
+			v := tx.Load(box)
+			if v == 0 {
+				tx.Retry() // block until this mailbox changes
+			}
+			tx.Store(box, 0)
+			tx.Store(out, v)
+			return nil
+		}
+	}
+
+	consumer := func(c *hastm.Core) {
+		th := sys.Thread(c)
+		// Composable blocking: wait for a message in EITHER mailbox.
+		err := th.Atomic(func(tx hastm.Txn) error {
+			return tx.OrElse(take(boxA), take(boxB))
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	producer := func(c *hastm.Core) {
+		th := sys.Thread(c)
+		c.Exec(20000) // let the consumer block first
+		if err := th.Atomic(func(tx hastm.Txn) error {
+			tx.Store(boxB, 42) // deliver to the SECOND mailbox
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+	}
+	machine.Run(consumer, producer)
+
+	fmt.Printf("  consumer woke on mailbox B and received %d\n", machine.Mem.Load(out))
+}
+
+func main() {
+	fmt.Println("closed nesting with partial rollback:")
+	partOneNesting()
+	fmt.Println("retry/orElse composition:")
+	partTwoOrElse()
+}

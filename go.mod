@@ -1,0 +1,3 @@
+module hastm.dev/hastm
+
+go 1.22

@@ -1,0 +1,575 @@
+// Package cache models the cache hierarchy of the simulated machine: one
+// private L1 data cache per core plus a shared, inclusive L2.
+//
+// Data never lives here — the authoritative copy is in package mem. The
+// caches track only what the paper's hardware mechanisms need: line
+// residency, a coherence state, LRU, and the per-line mark-bit mask that
+// implements the proposed ISA extension (one mark bit per 16-byte sub-block
+// of a 64-byte line, i.e. four bits per line).
+//
+// Mark bits are private per hardware thread (= per core here) and
+// non-persistent: they are cleared when a line is filled and they vanish
+// when the line leaves the cache or is invalidated. Every way a marked line
+// can be lost is surfaced through the DropListener so the simulator can
+// increment the owning core's saturating mark counter, and so the HTM model
+// can detect conflicts and capacity aborts.
+package cache
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/mem"
+)
+
+// DropReason says why a line left an L1 cache (and with it, its mark bits).
+type DropReason int
+
+const (
+	// DropEvict: the line was evicted to make room (capacity/conflict).
+	DropEvict DropReason = iota
+	// DropInvalidate: a store by another core invalidated the line.
+	DropInvalidate
+	// DropBackInvalidate: the inclusive L2 evicted the line, forcing it out
+	// of every L1 ("the inclusive nature of the cache hierarchy also
+	// results in one core accidentally kicking out marked cache lines of
+	// another core", §7.4).
+	DropBackInvalidate
+	// DropSiblingStore: an SMT sibling sharing this L1 stored to the line;
+	// the line stays resident for the victim but its mark bits die
+	// ("stores by one thread invalidate other threads' mark bits", §3.1).
+	DropSiblingStore
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropEvict:
+		return "evict"
+	case DropInvalidate:
+		return "invalidate"
+	case DropBackInvalidate:
+		return "back-invalidate"
+	case DropSiblingStore:
+		return "sibling-store"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// MaxSMT is the maximum number of hardware threads sharing one L1.
+const MaxSMT = 2
+
+// NumMarkPlanes is how many independent mark-bit filters each line
+// carries. The paper implements one but notes "one could support multiple
+// filters concurrently with independent mark bits to enable additional
+// software uses" (§3.1); plane 0 accelerates read barriers, plane 1 is
+// used by the optional write/undo-log filtering extension.
+const NumMarkPlanes = 2
+
+// MarkMasks is a line's mark bits, one 4-bit mask per plane.
+type MarkMasks [NumMarkPlanes]uint8
+
+// Any reports whether any plane has any bit set.
+func (m MarkMasks) Any() bool {
+	for _, v := range m {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DropListener observes every line leaving an L1. byCore is the core whose
+// access caused the drop (== core for plain evictions). marks holds the
+// line's mark bits, per plane, at the time of the drop.
+type DropListener interface {
+	LineDropped(core int, lineAddr uint64, marks MarkMasks, reason DropReason, byCore int)
+}
+
+// RemoteReadListener observes loads that hit a line held by another core.
+// The HTM model uses it to detect read-after-speculative-write conflicts.
+type RemoteReadListener interface {
+	LineRead(reader int, lineAddr uint64)
+}
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int // total capacity
+	Assoc     int // ways per set
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	s := c.SizeBytes / (mem.LineSize * c.Assoc)
+	if s <= 0 || s&(s-1) != 0 {
+		panic(fmt.Sprintf("cache: config %+v yields %d sets (must be a positive power of two)", c, s))
+	}
+	return s
+}
+
+type state uint8
+
+const (
+	invalid  state = iota
+	shared         // possibly replicated, read-only
+	modified       // exclusive to one L1, written
+)
+
+type line struct {
+	tag uint64 // line address (addr &^ 63); valid iff st != invalid
+	st  state
+	// mark holds each hardware thread's private filter bits: 4 bits per
+	// plane, one per 16B sub-block, per SMT thread sharing this L1.
+	mark [MaxSMT]MarkMasks
+	lru  uint64
+}
+
+type level struct {
+	cfg  Config
+	sets [][]line
+	tick uint64
+}
+
+func newLevel(cfg Config) *level {
+	l := &level{cfg: cfg, sets: make([][]line, cfg.Sets())}
+	for i := range l.sets {
+		l.sets[i] = make([]line, cfg.Assoc)
+	}
+	return l
+}
+
+func (l *level) set(lineAddr uint64) []line {
+	idx := (lineAddr / mem.LineSize) % uint64(len(l.sets))
+	return l.sets[idx]
+}
+
+// lookup returns the way holding lineAddr, or nil.
+func (l *level) lookup(lineAddr uint64) *line {
+	for i, w := range l.set(lineAddr) {
+		if w.st != invalid && w.tag == lineAddr {
+			return &l.set(lineAddr)[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the way to fill for lineAddr: an invalid way if one
+// exists, else the LRU way. The returned line may hold a valid tag that the
+// caller must handle (eviction).
+func (l *level) victim(lineAddr uint64) *line {
+	set := l.set(lineAddr)
+	best := &set[0]
+	for i := range set {
+		w := &set[i]
+		if w.st == invalid {
+			return w
+		}
+		if w.lru < best.lru {
+			best = w
+		}
+	}
+	return best
+}
+
+func (l *level) touch(w *line) {
+	l.tick++
+	w.lru = l.tick
+}
+
+// Hierarchy is the full cache system: per-core L1s over a shared
+// inclusive L2.
+type Hierarchy struct {
+	l1  []*level
+	l2  *level
+	tpc int // hardware threads per core (per L1)
+
+	prefetch bool // next-line prefetch into L1 on L1 miss
+
+	dropListeners []DropListener
+	readListeners []RemoteReadListener
+
+	// Stats
+	L1Hits, L1Misses  uint64
+	L2Hits, L2Misses  uint64
+	Invalidations     uint64
+	BackInvalidations uint64
+	Evictions         uint64
+	MarkedDrops       uint64 // drops of lines that had mark bits set
+	PrefetchFills     uint64
+}
+
+// HierarchyConfig configures New. Cores is the number of HARDWARE THREADS;
+// ThreadsPerCore > 1 groups them onto shared L1s (SMT).
+type HierarchyConfig struct {
+	Cores          int
+	ThreadsPerCore int // 0 or 1 = no SMT; at most MaxSMT
+	L1             Config
+	L2             Config
+	Prefetch       bool
+}
+
+// New builds the hierarchy for the given number of hardware threads.
+func New(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic("cache: need at least one hardware thread")
+	}
+	tpc := cfg.ThreadsPerCore
+	if tpc <= 0 {
+		tpc = 1
+	}
+	if tpc > MaxSMT {
+		panic(fmt.Sprintf("cache: ThreadsPerCore %d exceeds MaxSMT %d", tpc, MaxSMT))
+	}
+	if cfg.Cores%tpc != 0 {
+		panic("cache: thread count must be a multiple of ThreadsPerCore")
+	}
+	h := &Hierarchy{
+		l2:       newLevel(cfg.L2),
+		tpc:      tpc,
+		prefetch: cfg.Prefetch,
+	}
+	for i := 0; i < cfg.Cores/tpc; i++ {
+		h.l1 = append(h.l1, newLevel(cfg.L1))
+	}
+	return h
+}
+
+// l1Of maps a hardware thread to its (possibly shared) L1.
+func (h *Hierarchy) l1Of(thread int) *level { return h.l1[thread/h.tpc] }
+
+// slotOf maps a hardware thread to its mark slot within a shared L1.
+func (h *Hierarchy) slotOf(thread int) int { return thread % h.tpc }
+
+// AddDropListener registers a listener for L1 line drops.
+func (h *Hierarchy) AddDropListener(l DropListener) {
+	h.dropListeners = append(h.dropListeners, l)
+}
+
+// AddRemoteReadListener registers a listener for cross-core line reads.
+func (h *Hierarchy) AddRemoteReadListener(l RemoteReadListener) {
+	h.readListeners = append(h.readListeners, l)
+}
+
+// drop invalidates a line in L1 group l1idx, notifying every hardware
+// thread that shares the L1 with its own mark slot.
+func (h *Hierarchy) drop(l1idx int, w *line, reason DropReason, byThread int) {
+	if w.st == invalid {
+		return
+	}
+	addr, marks := w.tag, w.mark
+	w.st = invalid
+	w.mark = [MaxSMT]MarkMasks{}
+	any := false
+	for _, m := range marks {
+		if m.Any() {
+			any = true
+		}
+	}
+	if any {
+		h.MarkedDrops++
+	}
+	switch reason {
+	case DropEvict:
+		h.Evictions++
+	case DropInvalidate:
+		h.Invalidations++
+	case DropBackInvalidate:
+		h.BackInvalidations++
+	}
+	for t := 0; t < h.tpc; t++ {
+		thread := l1idx*h.tpc + t
+		for _, l := range h.dropListeners {
+			l.LineDropped(thread, addr, marks[t], reason, byThread)
+		}
+	}
+}
+
+// siblingStore clears the other SMT threads' marks on a line the storing
+// thread just wrote; the line stays resident for them (same L1), but the
+// marks — and for a hardware transaction, the tracked line — are gone.
+func (h *Hierarchy) siblingStore(thread int, w *line) {
+	if h.tpc == 1 {
+		return
+	}
+	l1idx := thread / h.tpc
+	for t := 0; t < h.tpc; t++ {
+		sib := l1idx*h.tpc + t
+		if sib == thread {
+			continue
+		}
+		mark := w.mark[t]
+		if !mark.Any() {
+			// Still notify: an HTM sibling tracks unmarked lines too.
+			for _, l := range h.dropListeners {
+				l.LineDropped(sib, w.tag, mark, DropSiblingStore, thread)
+			}
+			continue
+		}
+		w.mark[t] = MarkMasks{}
+		h.MarkedDrops++
+		for _, l := range h.dropListeners {
+			l.LineDropped(sib, w.tag, mark, DropSiblingStore, thread)
+		}
+	}
+}
+
+// AccessResult reports where an access hit.
+type AccessResult struct {
+	L1Hit bool
+	L2Hit bool // meaningful only when !L1Hit
+}
+
+// Access simulates core's load or store of the line containing addr,
+// updating residency, coherence and inclusion. It returns where the access
+// hit so the caller can charge latency.
+func (h *Hierarchy) Access(thread int, addr uint64, write bool) AccessResult {
+	la := mem.LineAddr(addr)
+	l1 := h.l1Of(thread)
+
+	if w := l1.lookup(la); w != nil {
+		l1.touch(w)
+		h.L1Hits++
+		if write {
+			if w.st != modified {
+				// Upgrade: invalidate every other L1's copy.
+				h.invalidateOthers(thread, la)
+				w.st = modified
+			}
+			h.siblingStore(thread, w)
+		}
+		if !write {
+			h.notifyRemoteRead(thread, la)
+		}
+		return AccessResult{L1Hit: true}
+	}
+
+	h.L1Misses++
+	res := AccessResult{}
+
+	if !write {
+		// A read miss downgrades any remote Modified copy to Shared so the
+		// old owner's next store is forced to re-invalidate us.
+		own := thread / h.tpc
+		for c := range h.l1 {
+			if c == own {
+				continue
+			}
+			if w := h.l1[c].lookup(la); w != nil && w.st == modified {
+				w.st = shared
+			}
+		}
+	}
+
+	// Ensure the line is in L2 (inclusive).
+	if w2 := h.l2.lookup(la); w2 != nil {
+		h.l2.touch(w2)
+		h.L2Hits++
+		res.L2Hit = true
+	} else {
+		h.L2Misses++
+		h.fillL2(la)
+	}
+
+	h.fillL1(thread, la, write)
+	if !write {
+		h.notifyRemoteRead(thread, la)
+	}
+
+	if h.prefetch {
+		// Next-line prefetcher, the §7.4 interference source ("prefetches
+		// and speculative accesses from one core kick out marked cache
+		// lines from another core"). Loads prefetch the next two lines for
+		// reading; stores issue a read-for-ownership prefetch of the next
+		// line, which — like the demand store — invalidates every other
+		// core's copy, marked or not. Prefetches consume no requester
+		// latency; their cost is pure pollution.
+		degree := uint64(2)
+		if write {
+			degree = 1
+		}
+		for d := uint64(1); d <= degree; d++ {
+			next := la + d*mem.LineSize
+			if write {
+				h.invalidateOthers(thread, next)
+			}
+			if l1.lookup(next) != nil {
+				if write {
+					if w := l1.lookup(next); w.st != modified {
+						w.st = modified
+					}
+				}
+				continue
+			}
+			if h.l2.lookup(next) == nil {
+				h.fillL2(next)
+			}
+			h.fillL1(thread, next, write)
+			h.PrefetchFills++
+		}
+	}
+	return res
+}
+
+// fillL1 installs la into core's L1, evicting as needed and invalidating
+// other copies when the fill is for a write. New fills always start with a
+// clear mark mask ("when the processor brings a line into the cache, it
+// clears all the mark bits for the new line").
+func (h *Hierarchy) fillL1(thread int, la uint64, write bool) {
+	l1idx := thread / h.tpc
+	l1 := h.l1[l1idx]
+	v := l1.victim(la)
+	h.drop(l1idx, v, DropEvict, thread)
+	if write {
+		h.invalidateOthers(thread, la)
+	}
+	v.tag = la
+	v.mark = [MaxSMT]MarkMasks{}
+	if write {
+		v.st = modified
+	} else {
+		v.st = shared
+	}
+	l1.touch(v)
+}
+
+// fillL2 installs la into the shared L2; the victim, if any, is
+// back-invalidated out of every L1 to preserve inclusion.
+func (h *Hierarchy) fillL2(la uint64) {
+	v := h.l2.victim(la)
+	if v.st != invalid {
+		evicted := v.tag
+		for c := range h.l1 {
+			if w := h.l1[c].lookup(evicted); w != nil {
+				h.drop(c, w, DropBackInvalidate, -1)
+			}
+		}
+	}
+	v.tag = la
+	v.st = shared
+	v.mark = [MaxSMT]MarkMasks{}
+	h.l2.touch(v)
+}
+
+// SpeculativeRFO models a wrong-path / predicted-store read-for-ownership
+// request from core: every other core's copy of the line is invalidated
+// (discarding its mark bits), exactly the "speculative accesses from one
+// core kick out marked cache lines from another core" interference of
+// §7.4. The requesting core gains nothing; the request is off its critical
+// path.
+func (h *Hierarchy) SpeculativeRFO(thread int, lineAddr uint64) {
+	h.invalidateOthers(thread, lineAddr)
+}
+
+// invalidateOthers removes la from every L1 except the writer's.
+func (h *Hierarchy) invalidateOthers(writer int, la uint64) {
+	own := writer / h.tpc
+	for c := range h.l1 {
+		if c == own {
+			continue
+		}
+		if w := h.l1[c].lookup(la); w != nil {
+			h.drop(c, w, DropInvalidate, writer)
+		}
+	}
+}
+
+func (h *Hierarchy) notifyRemoteRead(reader int, la uint64) {
+	for _, l := range h.readListeners {
+		l.LineRead(reader, la)
+	}
+}
+
+// markSpan returns the mask of sub-block mark bits a mark instruction of
+// the given granularity covers at addr. Granularity 16 addresses one
+// sub-block; granularity 64 (the _granularity64 instruction variants)
+// addresses every sub-block of addr's line; intermediate granularities
+// cover the touched sub-blocks, clamped to the line.
+func markSpan(addr, gran uint64) uint8 {
+	if gran >= mem.LineSize {
+		return 0b1111
+	}
+	if gran == 0 {
+		gran = 1
+	}
+	first := mem.SubBlock(addr)
+	last := first + uint((gran-1)/16)
+	if last > 3 {
+		last = 3
+	}
+	var m uint8
+	for b := first; b <= last; b++ {
+		m |= 1 << b
+	}
+	return m
+}
+
+// SetMark sets plane's mark bits covering [addr, addr+size) in core's L1.
+// The line must be resident (the caller performs the access first); if it
+// is not — which cannot happen when called right after Access — this is a
+// no-op, matching hardware that simply loses the mark.
+func (h *Hierarchy) SetMark(thread, plane int, addr, size uint64) {
+	if w := h.l1Of(thread).lookup(mem.LineAddr(addr)); w != nil {
+		w.mark[h.slotOf(thread)][plane] |= markSpan(addr, size)
+	}
+}
+
+// ClearMark clears plane's mark bits covering [addr, addr+size).
+func (h *Hierarchy) ClearMark(thread, plane int, addr, size uint64) {
+	if w := h.l1Of(thread).lookup(mem.LineAddr(addr)); w != nil {
+		w.mark[h.slotOf(thread)][plane] &^= markSpan(addr, size)
+	}
+}
+
+// TestMark reports whether ALL of plane's mark bits covering
+// [addr, addr+size) are set (the instruction puts the logical AND of the
+// covered bits in the carry flag).
+func (h *Hierarchy) TestMark(thread, plane int, addr, size uint64) bool {
+	w := h.l1Of(thread).lookup(mem.LineAddr(addr))
+	if w == nil {
+		return false
+	}
+	span := markSpan(addr, size)
+	return w.mark[h.slotOf(thread)][plane]&span == span
+}
+
+// ClearAllMarks clears every mark bit of one plane in core's L1
+// (resetmarkall). Lines stay resident.
+func (h *Hierarchy) ClearAllMarks(thread, plane int) {
+	slot := h.slotOf(thread)
+	for _, set := range h.l1Of(thread).sets {
+		for i := range set {
+			set[i].mark[slot][plane] = 0
+		}
+	}
+}
+
+// MarkedLines returns how many lines currently carry at least one mark bit
+// of the plane in core's L1 (useful for tests and diagnostics).
+func (h *Hierarchy) MarkedLines(thread, plane int) int {
+	slot := h.slotOf(thread)
+	n := 0
+	for _, set := range h.l1Of(thread).sets {
+		for i := range set {
+			if set[i].st != invalid && set[i].mark[slot][plane] != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Resident reports whether the line containing addr is in the thread's L1.
+func (h *Hierarchy) Resident(thread int, addr uint64) bool {
+	return h.l1Of(thread).lookup(mem.LineAddr(addr)) != nil
+}
+
+// FlushCore invalidates every line in the thread's L1 (used to model a
+// context switch wiping the cache in some experiments). Marked drops are
+// reported as evictions.
+func (h *Hierarchy) FlushCore(thread int) {
+	l1idx := thread / h.tpc
+	for _, set := range h.l1[l1idx].sets {
+		for i := range set {
+			h.drop(l1idx, &set[i], DropEvict, thread)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"testing"
+
+	"hastm.dev/hastm/internal/mem"
+)
+
+// Tests of the §3.1 SMT behaviour: "For caches shared by multiple hardware
+// threads, such as in the case of simultaneous multithreading, each thread
+// has its own set of mark bits in the cache, and stores by one thread
+// invalidate other threads' mark bits."
+
+func smtHierarchy(threads int) *Hierarchy {
+	return New(HierarchyConfig{
+		Cores:          threads,
+		ThreadsPerCore: 2,
+		L1:             Config{SizeBytes: 1 << 10, Assoc: 2},
+		L2:             Config{SizeBytes: 4 << 10, Assoc: 4},
+	})
+}
+
+func TestSMTThreadsShareLines(t *testing.T) {
+	h := smtHierarchy(2)
+	h.Access(0, base, false)
+	// The sibling finds the line already resident in the shared L1.
+	if !h.Resident(1, base) {
+		t.Fatal("SMT siblings must share L1 residency")
+	}
+	res := h.Access(1, base, false)
+	if !res.L1Hit {
+		t.Fatal("sibling access should hit the shared L1")
+	}
+}
+
+func TestSMTMarksArePerThread(t *testing.T) {
+	h := smtHierarchy(2)
+	h.Access(0, base, false)
+	h.SetMark(0, 0, base, 16)
+	if h.TestMark(1, 0, base, 16) {
+		t.Fatal("sibling thread sees this thread's mark bits")
+	}
+	h.SetMark(1, 0, base, 64)
+	if !h.TestMark(0, 0, base, 16) {
+		t.Fatal("thread 0's mark lost when the sibling marked")
+	}
+}
+
+func TestSMTSiblingStoreInvalidatesMarks(t *testing.T) {
+	h := smtHierarchy(2)
+	rec := &dropRecorder{}
+	h.AddDropListener(rec)
+	h.Access(0, base, false)
+	h.SetMark(0, 0, base, 64)
+	h.Access(1, base, true) // sibling store: same L1, line stays
+	if !h.Resident(0, base) {
+		t.Fatal("the line must stay resident (shared L1)")
+	}
+	if h.TestMark(0, 0, base, 64) {
+		t.Fatal("sibling store must invalidate the other thread's marks")
+	}
+	found := false
+	for _, e := range rec.events {
+		if e.core == 0 && e.line == base && e.reason == DropSiblingStore && e.mark.Any() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no sibling-store drop event for thread 0: %+v", rec.events)
+	}
+	// The storer's own marks (if any) survive its own store.
+	h.SetMark(1, 0, base, 64)
+	h.Access(1, base, true)
+	if !h.TestMark(1, 0, base, 64) {
+		t.Fatal("a thread's own store must not clear its own marks")
+	}
+}
+
+func TestSMTEvictionDropsBothThreadsMarks(t *testing.T) {
+	h := smtHierarchy(2)
+	rec := &dropRecorder{}
+	h.AddDropListener(rec)
+	h.Access(0, base, false)
+	h.SetMark(0, 0, base, 64)
+	h.SetMark(1, 0, base, 16)
+	// Evict via set pressure from the sibling.
+	setStride := uint64(8 * mem.LineSize)
+	h.Access(1, base+setStride, false)
+	h.Access(1, base+2*setStride, false)
+	drops := map[int]bool{}
+	for _, e := range rec.events {
+		if e.line == base && e.reason == DropEvict && e.mark.Any() {
+			drops[e.core] = true
+		}
+	}
+	if !drops[0] || !drops[1] {
+		t.Fatalf("both threads must be notified of the marked eviction: %+v", rec.events)
+	}
+}
+
+func TestSMTCrossCoreInvalidationStillWorks(t *testing.T) {
+	h := smtHierarchy(4) // two physical cores, two threads each
+	h.Access(0, base, false)
+	h.SetMark(0, 0, base, 16)
+	h.Access(2, base, true) // thread on the OTHER core stores
+	if h.Resident(0, base) {
+		t.Fatal("cross-core store must invalidate the line")
+	}
+}
+
+func TestSMTConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd thread count with ThreadsPerCore=2 must panic")
+		}
+	}()
+	New(HierarchyConfig{
+		Cores:          3,
+		ThreadsPerCore: 2,
+		L1:             Config{SizeBytes: 1 << 10, Assoc: 2},
+		L2:             Config{SizeBytes: 4 << 10, Assoc: 4},
+	})
+}

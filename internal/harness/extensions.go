@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/core"
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/tm"
+	"hastm.dev/hastm/internal/workloads"
+)
+
+// Extension experiments: ablations for the design choices the paper
+// proposes but does not evaluate (DESIGN.md calls these out). They live in
+// the same registry as the figures, prefixed "ext-".
+
+// Extra scheme names used only by the extension experiments.
+const (
+	SchemeWFilter     = "hastm-wfilter"     // §5 write/undo-log filtering (plane 1)
+	SchemeInterAtomic = "hastm-interatomic" // Fig 10 inter-atomic reuse
+	SchemeObjHASTM    = "hastm-object"      // object-granularity HASTM
+	SchemeObjSTM      = "stm-object"        // object-granularity base STM
+	SchemeWatermark   = "hastm-watermark"   // watermark controller even single-threaded
+)
+
+// Extensions returns the extension-experiment registry.
+func Extensions() []Spec {
+	return []Spec{
+		{"ext-wfilter", "Write-barrier and undo-log filtering (§5 extension)", ExtWFilter},
+		{"ext-interatomic", "Inter-atomic redundancy elimination (Fig 10)", ExtInterAtomic},
+		{"ext-defaultisa", "Section 3.3 default ISA: correct but unaccelerated", ExtDefaultISA},
+		{"ext-granularity", "Object- vs cache-line-granularity conflict detection", ExtGranularity},
+		{"ext-smt", "SMT: four hardware threads on two shared L1s vs four full cores", ExtSMT},
+	}
+}
+
+func buildExtScheme(name string, m *sim.Machine, threads int) tm.System {
+	hastmCfg := core.DefaultConfig(tm.LineGranularity)
+	hastmCfg.SingleThread = threads == 1
+	switch name {
+	case SchemeWFilter:
+		hastmCfg.FilterWrites = true
+		return core.NewNamed(SchemeWFilter, m, hastmCfg)
+	case SchemeInterAtomic:
+		hastmCfg.InterAtomic = true
+		return core.NewNamed(SchemeInterAtomic, m, hastmCfg)
+	case SchemeObjHASTM:
+		objCfg := core.DefaultConfig(tm.ObjectGranularity)
+		objCfg.SingleThread = threads == 1
+		return core.NewNamed(SchemeObjHASTM, m, objCfg)
+	case SchemeObjSTM:
+		return stmObject(m)
+	case SchemeWatermark:
+		hastmCfg.SingleThread = false // force the adaptive controller
+		return core.NewNamed(SchemeWatermark, m, hastmCfg)
+	default:
+		return buildScheme(name, m, threads)
+	}
+}
+
+// ExtWFilter measures the §5 write-filtering extension on write-heavy
+// transactions with high store locality — the regime it targets.
+func ExtWFilter(o Options) *Report {
+	rep := &Report{
+		ID:    "ext-wfilter",
+		Title: "Write-barrier and undo-log filtering (plane-1 marks)",
+		Notes: "single thread; microbenchmark at 50% loads; relative to STM = 1.0. The extension pays only under extreme store locality — consistent with the paper concentrating on read filtering (§5).",
+	}
+	tbl := Table{Name: "write-heavy micro", ColHeader: "scheme \\ store reuse", Unit: "x of STM time"}
+	reuses := []int{40, 60, 80, 95}
+	for _, r := range reuses {
+		tbl.Cols = append(tbl.Cols, fmt.Sprintf("%d%%", r))
+	}
+	base := make(map[int]uint64)
+	for _, r := range reuses {
+		base[r] = runMicroExt(SchemeSTM, 50, 50, r, o).WallCycles
+	}
+	for _, scheme := range []string{SchemeHASTM, SchemeWFilter} {
+		row := Row{Name: scheme}
+		for _, r := range reuses {
+			m := runMicroExt(scheme, 50, 50, r, o)
+			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[r]))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// runMicroExt is runMicro with an explicit store-reuse rate and access to
+// the extension schemes.
+func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) RunMetrics {
+	machine := machineFor(1)
+	sys := buildExtScheme(scheme, machine, 1)
+	mi := workloads.NewMicro(machine.Mem, 256)
+	mi.LoadPercent = loadPct
+	mi.LoadReuse = loadReuse
+	mi.StoreReuse = storeReuse
+
+	var wall uint64
+	machine.Run(func(c *sim.Ctx) {
+		th := sys.Thread(c)
+		r := workloads.NewRand(o.Seed)
+		runTxns := func(n int) {
+			for i := 0; i < n; i++ {
+				if err := th.Atomic(func(tx tm.Txn) error {
+					return mi.Op(tx, r, false)
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+		runTxns(4)
+		start := c.Clock()
+		runTxns(o.MicroTxns)
+		wall = c.Clock() - start
+	})
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+}
+
+// ExtInterAtomic measures Fig 10's cross-transaction redundancy
+// elimination: many small transactions over one small, stable working set
+// — the second atomic block's reads of the same lines take the fast path
+// when marks survive between blocks.
+func ExtInterAtomic(o Options) *Report {
+	rep := &Report{
+		ID:    "ext-interatomic",
+		Title: "Inter-atomic redundancy elimination (Fig 10)",
+		Notes: "single thread; short read-only transactions over a stable working set; relative to STM = 1.0",
+	}
+	run := func(scheme string, lines uint64) (uint64, uint64) {
+		machine := machineFor(1)
+		sys := buildExtScheme(scheme, machine, 1)
+		base := machine.Mem.Alloc(lines*64, 64)
+		var wall uint64
+		machine.Run(func(c *sim.Ctx) {
+			th := sys.Thread(c)
+			warm := func(n int) {
+				for t := 0; t < n; t++ {
+					if err := th.Atomic(func(tx tm.Txn) error {
+						for i := uint64(0); i < lines; i++ {
+							tx.Load(base + i*64)
+							tx.Exec(3)
+						}
+						return nil
+					}); err != nil {
+						panic(err)
+					}
+				}
+			}
+			warm(4)
+			start := c.Clock()
+			warm(o.MicroTxns * 4)
+			wall = c.Clock() - start
+		})
+		var filtered uint64
+		for i := range machine.Stats.Cores {
+			filtered += machine.Stats.Cores[i].FilteredReads
+		}
+		return wall, filtered
+	}
+	const lines = 16
+	baseWall, _ := run(SchemeSTM, lines)
+	tbl := Table{
+		Name:      "repeated 16-line read-only blocks",
+		ColHeader: "scheme",
+		Cols:      []string{"rel time", "filtered reads"},
+		Unit:      "x of STM / count",
+	}
+	for _, scheme := range []string{SchemeHASTM, SchemeInterAtomic} {
+		wall, filtered := run(scheme, lines)
+		tbl.Rows = append(tbl.Rows, Row{
+			Name:  scheme,
+			Cells: []float64{float64(wall) / float64(baseWall), float64(filtered)},
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// ExtDefaultISA verifies the Section 3.3 deployment story quantitatively:
+// on a processor implementing only the default behaviour of the new
+// instructions, the HASTM binary runs correctly at essentially STM speed,
+// while the full implementation accelerates it.
+func ExtDefaultISA(o Options) *Report {
+	rep := &Report{
+		ID:    "ext-defaultisa",
+		Title: "Default ISA implementation (§3.3)",
+		Notes: "single thread, B-tree; relative to the same machine's STM = 1.0. The paper's unconditional single-thread aggressive policy re-executes every transaction on a default-ISA machine (the counter never stays zero); the adaptive watermark controller degrades gracefully to near-STM speed.",
+	}
+	run := func(defaultISA bool, scheme string) uint64 {
+		saved := o
+		o.DefaultISA = defaultISA
+		m := runStructure(scheme, WorkloadBTree, 1, o)
+		o = saved
+		return m.WallCycles
+	}
+	tbl := Table{Name: "btree", ColHeader: "scheme", Cols: []string{"full ISA", "default ISA"}, Unit: "x of STM time"}
+	stmFull := run(false, SchemeSTM)
+	stmDef := run(true, SchemeSTM)
+	for _, scheme := range []string{SchemeSTM, SchemeHASTM, SchemeWatermark} {
+		tbl.Rows = append(tbl.Rows, Row{
+			Name: scheme,
+			Cells: []float64{
+				float64(run(false, scheme)) / float64(stmFull),
+				float64(run(true, scheme)) / float64(stmDef),
+			},
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// ExtGranularity compares conflict-detection granularities on the BST:
+// object-granularity (per-node records in headers, Fig 5 barriers) vs the
+// global line-granularity table (Fig 7 barriers).
+func ExtGranularity(o Options) *Report {
+	rep := &Report{
+		ID:    "ext-granularity",
+		Title: "Object vs cache-line conflict detection granularity",
+		Notes: "BST; relative to 1-core sequential = 1.0",
+	}
+	runObj := func(scheme string, cores int) uint64 {
+		return runStructure(scheme, WorkloadObjBST, cores, o).WallCycles
+	}
+	seq := runObj(SchemeSeq, 1)
+	tbl := Table{Name: "bst", ColHeader: "scheme", Cols: []string{"1 core", "4 cores"}, Unit: "x of sequential"}
+	for _, s := range []struct{ name, scheme string }{
+		{"hastm/object", SchemeObjHASTM},
+		{"hastm/line", SchemeHASTM},
+		{"stm/object", SchemeObjSTM},
+		{"stm/line", SchemeSTM},
+	} {
+		tbl.Rows = append(tbl.Rows, Row{
+			Name: s.name,
+			Cells: []float64{
+				float64(runObj(s.scheme, 1)) / float64(seq),
+				float64(runObj(s.scheme, 4)) / float64(seq),
+			},
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// ExtSMT measures §3.1's SMT provision: each hardware thread keeps private
+// mark bits in the shared L1, and a sibling's stores invalidate them. Four
+// hardware threads run the B-tree either as four full cores or as two
+// cores with two SMT threads each — the SMT pair loses marks to sibling
+// stores and L1 sharing, eroding (but not breaking) the acceleration.
+func ExtSMT(o Options) *Report {
+	rep := &Report{
+		ID:    "ext-smt",
+		Title: "SMT sharing: 2 cores x 2 threads vs 4 cores",
+		Notes: "B-tree, four hardware threads, fixed total work; relative to the 4-core lock run",
+	}
+	run := func(scheme string, smt bool) (uint64, float64) {
+		cfg := sim.DefaultConfig(4)
+		cfg.L2 = cacheConfig256K()
+		cfg.Prefetch = true
+		cfg.SpecRFOEvery = 32
+		if smt {
+			cfg.ThreadsPerCore = 2
+		}
+		machine := sim.New(cfg)
+		sys := buildExtScheme(scheme, machine, 4)
+		ds := buildStructure(WorkloadBTree, machine.Mem, o)
+		ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
+		per := o.Ops / 4
+		progs := make([]sim.Program, 4)
+		for i := range progs {
+			progs[i] = func(c *sim.Ctx) {
+				cfg := workloads.DriverConfig{Ops: per, UpdatePercent: 20, Seed: o.Seed}
+				if err := workloads.RunThread(sys.Thread(c), ds, cfg); err != nil {
+					panic(err)
+				}
+			}
+		}
+		wall := machine.Run(progs...)
+		var fast, full uint64
+		for i := range machine.Stats.Cores {
+			fast += machine.Stats.Cores[i].FastValidations
+			full += machine.Stats.Cores[i].FullValidations
+		}
+		share := 0.0
+		if fast+full > 0 {
+			share = 100 * float64(fast) / float64(fast+full)
+		}
+		return wall, share
+	}
+	base, _ := run(SchemeLock, false)
+	tbl := Table{
+		Name:      "btree, 4 hardware threads",
+		ColHeader: "scheme",
+		Cols:      []string{"4 cores", "2c x 2 SMT", "fast-val % 4c", "fast-val % SMT"},
+		Unit:      "x of 4-core lock time / percent",
+	}
+	for _, scheme := range []string{SchemeHASTM, SchemeSTM, SchemeLock} {
+		w4, s4 := run(scheme, false)
+		wS, sS := run(scheme, true)
+		tbl.Rows = append(tbl.Rows, Row{
+			Name:  scheme,
+			Cells: []float64{float64(w4) / float64(base), float64(wS) / float64(base), s4, sS},
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}

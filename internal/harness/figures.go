@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/workloads/traces"
+)
+
+// Spec registers one reproducible figure.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+// All returns the experiment registry in paper order.
+func All() []Spec {
+	return []Spec{
+		{"fig11", "STM vs lock scaling on TM workloads", Fig11},
+		{"fig12", "STM execution time breakdown", Fig12},
+		{"fig13", "Ratio of loads and cache reuse in workload critical sections", Fig13},
+		{"fig15", "TM performance comparison (microbenchmark sweep)", Fig15},
+		{"fig16", "Relative execution time for TM schemes (single thread)", Fig16},
+		{"fig17", "Performance breakdown for HASTM", Fig17},
+		{"fig18", "Multi-core scaling for BST", Fig18},
+		{"fig19", "Multi-core scaling for Btree", Fig19},
+		{"fig20", "Multi-core scaling for hash table", Fig20},
+		{"fig21", "BST scaling under different TM schemes", Fig21},
+		{"fig22", "Btree scaling under different TM schemes", Fig22},
+	}
+}
+
+// ByID returns the spec for an experiment id (figures and extensions).
+func ByID(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	for _, s := range Extensions() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Fig11 regenerates Figure 11: execution time of the STM and coarse-lock
+// versions of the three data structures, 1–16 processors, relative to the
+// single-thread lock time.
+func Fig11(o Options) *Report {
+	cores := []int{1, 2, 4, 8, 16}
+	rep := &Report{
+		ID:    "fig11",
+		Title: "STM (vs lock) on TM workloads, IBM-x445-style 16-way run",
+		Notes: "execution time relative to single-thread lock time; total work fixed, split across processors",
+	}
+	for _, wl := range Workloads() {
+		base := runStructure(SchemeLock, wl, 1, o).WallCycles
+		tbl := Table{Name: wl, ColHeader: "scheme \\ procs", Unit: "x of 1-proc lock time"}
+		for _, c := range cores {
+			tbl.Cols = append(tbl.Cols, fmt.Sprint(c))
+		}
+		for _, scheme := range []string{SchemeLock, SchemeSTM} {
+			row := Row{Name: scheme}
+			for _, c := range cores {
+				m := runStructure(scheme, wl, c, o)
+				row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base))
+			}
+			tbl.Rows = append(tbl.Rows, row)
+		}
+		rep.Tables = append(rep.Tables, tbl)
+	}
+	return rep
+}
+
+// Fig12 regenerates Figure 12: where single-thread STM time goes.
+func Fig12(o Options) *Report {
+	rep := &Report{
+		ID:    "fig12",
+		Title: "STM execution time breakdown",
+		Notes: "percent of total cycles per category, single thread",
+	}
+	cats := []stats.Category{stats.App, stats.TLS, stats.RdBar, stats.WrBar, stats.Validate, stats.Commit}
+	tbl := Table{Name: "breakdown", ColHeader: "workload", Unit: "% of cycles"}
+	for _, c := range cats {
+		tbl.Cols = append(tbl.Cols, c.String())
+	}
+	for _, wl := range Workloads() {
+		m := runStructure(SchemeSTM, wl, 1, o)
+		total := float64(m.Stats.TotalCycles())
+		row := Row{Name: wl}
+		for _, c := range cats {
+			row.Cells = append(row.Cells, 100*float64(m.Stats.CategoryCycles(c))/total)
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// Fig13 regenerates Figure 13: the workload-analysis chart.
+func Fig13(o Options) *Report {
+	rep := &Report{
+		ID:    "fig13",
+		Title: "Ratio of loads and cache reuse (synthetic traces per the documented substitution)",
+		Notes: "measured from generated critical-section traces; reuse = prior same-kind access to the line in the same section",
+	}
+	tbl := Table{
+		Name:      "workload analysis",
+		ColHeader: "workload",
+		Cols:      []string{"% loads", "load reuse %", "store reuse %"},
+		Unit:      "percent",
+	}
+	for _, r := range traces.AnalyzeAll(400, o.Seed) {
+		tbl.Rows = append(tbl.Rows, Row{
+			Name:  r.Name,
+			Cells: []float64{100 * r.LoadFraction, 100 * r.LoadReuse, 100 * r.StoreReuse},
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// Fig15 regenerates Figure 15: the microbenchmark sweep over load fraction
+// (60–90%) and cache reuse (40–60%), for cautious HASTM, full HASTM and
+// best-case HyTM, normalised to the STM.
+func Fig15(o Options) *Report {
+	rep := &Report{
+		ID:    "fig15",
+		Title: "TM performance comparison",
+		Notes: "relative execution time, STM = 1.0; store reuse fixed at 40%",
+	}
+	loadFracs := []int{60, 70, 80, 90}
+	reuses := []int{40, 50, 60}
+	schemes := []struct{ label, scheme string }{
+		{"Cautious", SchemeCautious},
+		{"HASTM", SchemeHASTM},
+		{"Hybrid", SchemeHyTM},
+	}
+	for _, reuse := range reuses {
+		tbl := Table{
+			Name:      fmt.Sprintf("%d%% cache reuse", reuse),
+			ColHeader: "scheme \\ load%",
+			Unit:      "x of STM time",
+		}
+		for _, lf := range loadFracs {
+			tbl.Cols = append(tbl.Cols, fmt.Sprintf("%d%%", lf))
+		}
+		base := make(map[int]uint64)
+		for _, lf := range loadFracs {
+			base[lf] = runMicro(SchemeSTM, lf, reuse, o).WallCycles
+		}
+		for _, s := range schemes {
+			row := Row{Name: s.label}
+			for _, lf := range loadFracs {
+				m := runMicro(s.scheme, lf, reuse, o)
+				row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[lf]))
+			}
+			tbl.Rows = append(tbl.Rows, row)
+		}
+		rep.Tables = append(rep.Tables, tbl)
+	}
+	return rep
+}
+
+// Fig16 regenerates Figure 16: single-thread execution time of every TM
+// scheme relative to sequential execution.
+func Fig16(o Options) *Report {
+	rep := &Report{
+		ID:    "fig16",
+		Title: "Relative execution time for TM schemes",
+		Notes: "single thread; sequential execution = 1.0 (an ideal unbounded HTM would be 1.0)",
+	}
+	schemes := []string{SchemeHASTM, SchemeHyTM, SchemeSTM, SchemeLock}
+	tbl := Table{Name: "single-thread", ColHeader: "scheme \\ workload", Unit: "x of sequential time"}
+	tbl.Cols = append(tbl.Cols, Workloads()...)
+	base := make(map[string]uint64)
+	for _, wl := range Workloads() {
+		base[wl] = runStructure(SchemeSeq, wl, 1, o).WallCycles
+	}
+	for _, s := range schemes {
+		row := Row{Name: s}
+		for _, wl := range Workloads() {
+			m := runStructure(s, wl, 1, o)
+			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[wl]))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// Fig17 regenerates Figure 17: the HASTM ablation — full HASTM, cautious
+// only (no read-log elimination), no-reuse (no barrier filtering) and the
+// base STM, relative to sequential execution.
+func Fig17(o Options) *Report {
+	rep := &Report{
+		ID:    "fig17",
+		Title: "Performance breakdown for HASTM",
+		Notes: "single thread; sequential = 1.0; Cautious = no read-log elimination, NoReuse = no barrier filtering",
+	}
+	schemes := []string{SchemeHASTM, SchemeCautious, SchemeNoReuse, SchemeSTM}
+	tbl := Table{Name: "ablation", ColHeader: "scheme \\ workload", Unit: "x of sequential time"}
+	tbl.Cols = append(tbl.Cols, Workloads()...)
+	base := make(map[string]uint64)
+	for _, wl := range Workloads() {
+		base[wl] = runStructure(SchemeSeq, wl, 1, o).WallCycles
+	}
+	for _, s := range schemes {
+		row := Row{Name: s}
+		for _, wl := range Workloads() {
+			m := runStructure(s, wl, 1, o)
+			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[wl]))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// multicoreFigure implements Figures 18–22: fixed total work split over
+// 1/2/4 cores, times relative to the single-core lock run.
+func multicoreFigure(id, title, workload string, schemes []string, o Options) *Report {
+	rep := &Report{
+		ID:    id,
+		Title: title,
+		Notes: "execution time relative to single-core lock time; fixed total work",
+	}
+	cores := []int{1, 2, 4}
+	base := runStructure(SchemeLock, workload, 1, o).WallCycles
+	tbl := Table{Name: workload, ColHeader: "scheme \\ cores", Unit: "x of 1-core lock time"}
+	for _, c := range cores {
+		tbl.Cols = append(tbl.Cols, fmt.Sprint(c))
+	}
+	for _, s := range schemes {
+		row := Row{Name: s}
+		for _, c := range cores {
+			m := runStructure(s, workload, c, o)
+			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// Fig18 regenerates Figure 18 (BST: HASTM vs STM vs lock).
+func Fig18(o Options) *Report {
+	return multicoreFigure("fig18", "Multi-core scaling for BST", WorkloadBST,
+		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
+}
+
+// Fig19 regenerates Figure 19 (Btree).
+func Fig19(o Options) *Report {
+	return multicoreFigure("fig19", "Multi-core scaling for Btree", WorkloadBTree,
+		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
+}
+
+// Fig20 regenerates Figure 20 (hash table).
+func Fig20(o Options) *Report {
+	return multicoreFigure("fig20", "Multi-core scaling for hash table", WorkloadHash,
+		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
+}
+
+// Fig21 regenerates Figure 21 (BST: HASTM vs the naive always-aggressive
+// strawman vs STM — the spurious-abort study).
+func Fig21(o Options) *Report {
+	return multicoreFigure("fig21", "BST scaling (different TM schemes)", WorkloadBST,
+		[]string{SchemeHASTM, SchemeNaive, SchemeSTM}, o)
+}
+
+// Fig22 regenerates Figure 22 (Btree, same schemes).
+func Fig22(o Options) *Report {
+	return multicoreFigure("fig22", "Btree scaling (different TM schemes)", WorkloadBTree,
+		[]string{SchemeHASTM, SchemeNaive, SchemeSTM}, o)
+}
+
+// RunAll executes every experiment and returns the reports sorted by id.
+func RunAll(o Options) []*Report {
+	var out []*Report
+	for _, s := range All() {
+		out = append(out, s.Run(o))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

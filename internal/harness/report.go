@@ -1,0 +1,143 @@
+// Package harness reproduces the paper's evaluation (§7): it configures
+// machines, runs every scheme on every workload, and regenerates each
+// figure of the paper as a structured, renderable table. The cmd/hastm-bench
+// binary and the repository's benchmark suite are thin wrappers around this
+// package.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Report is the regenerated form of one paper figure.
+type Report struct {
+	ID     string // "fig16"
+	Title  string // the paper's caption
+	Notes  string // normalisation/baseline explanation
+	Tables []Table
+}
+
+// Table is one group of series within a figure (e.g. one data structure).
+type Table struct {
+	Name string
+	// ColHeader labels the columns ("cores", "load fraction", ...).
+	ColHeader string
+	Cols      []string
+	Rows      []Row
+	// Unit describes cell values ("x relative to STM", "% of cycles").
+	Unit string
+}
+
+// Row is one series (a scheme or a workload).
+type Row struct {
+	Name  string
+	Cells []float64
+}
+
+// Get returns a cell by table name, row name and column label.
+func (r *Report) Get(table, row, col string) (float64, bool) {
+	for _, t := range r.Tables {
+		if t.Name != table {
+			continue
+		}
+		ci := -1
+		for i, c := range t.Cols {
+			if c == col {
+				ci = i
+			}
+		}
+		if ci < 0 {
+			return 0, false
+		}
+		for _, rw := range t.Rows {
+			if rw.Name == row && ci < len(rw.Cells) {
+				return rw.Cells[ci], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// MustGet is Get or panic; for tests and assertions.
+func (r *Report) MustGet(table, row, col string) float64 {
+	v, ok := r.Get(table, row, col)
+	if !ok {
+		panic(fmt.Sprintf("%s: no cell (%q, %q, %q)", r.ID, table, row, col))
+	}
+	return v
+}
+
+// RenderCSV writes the report as CSV: one record per cell, with the
+// figure id, table, row and column as keys — the long format plotting
+// tools want.
+func (r *Report) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "table", "row", "column", "value"}); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		for _, rw := range t.Rows {
+			for i, v := range rw.Cells {
+				if i >= len(t.Cols) {
+					break
+				}
+				rec := []string{r.ID, t.Name, rw.Name, t.Cols[i], strconv.FormatFloat(v, 'f', 6, 64)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render writes the report as aligned text tables.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Notes != "" {
+		fmt.Fprintf(w, "   %s\n", r.Notes)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		if t.Name != "" {
+			fmt.Fprintf(w, "-- %s", t.Name)
+			if t.Unit != "" {
+				fmt.Fprintf(w, " (%s)", t.Unit)
+			}
+			fmt.Fprintln(w, " --")
+		}
+		// Column widths: values need 10 characters; long headers widen
+		// their column.
+		nameW := len(t.ColHeader)
+		for _, rw := range t.Rows {
+			if len(rw.Name) > nameW {
+				nameW = len(rw.Name)
+			}
+		}
+		colW := 10
+		for _, c := range t.Cols {
+			if len(c)+2 > colW {
+				colW = len(c) + 2
+			}
+		}
+		fmt.Fprintf(w, "%-*s", nameW+2, t.ColHeader)
+		for _, c := range t.Cols {
+			fmt.Fprintf(w, "%*s", colW, c)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("-", nameW+2+colW*len(t.Cols)))
+		for _, rw := range t.Rows {
+			fmt.Fprintf(w, "%-*s", nameW+2, rw.Name)
+			for _, v := range rw.Cells {
+				fmt.Fprintf(w, "%*.3f", colW, v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/cache"
+	"hastm.dev/hastm/internal/core"
+	"hastm.dev/hastm/internal/htm"
+	"hastm.dev/hastm/internal/locksync"
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/stm"
+	"hastm.dev/hastm/internal/tm"
+	"hastm.dev/hastm/internal/workloads"
+)
+
+// Options tunes experiment sizes so the full evaluation (CLI) and the
+// quick benchmarks (go test -bench) share one implementation.
+type Options struct {
+	// Ops is the total number of data-structure operations per run,
+	// divided among the threads.
+	Ops int
+	// MicroTxns is the number of microbenchmark transactions per run.
+	MicroTxns int
+	// Warmup is the number of pre-measurement operations used to reach
+	// cache and mode-controller steady state; 0 means Ops/4 (min 64).
+	Warmup int
+	// Structure sizes.
+	HashSlots, TreeKeys uint64
+	Seed                uint64
+	// DefaultISA runs the experiment on a machine implementing only the
+	// Section 3.3 default behaviour of the mark instructions.
+	DefaultISA bool
+	// TraceMax, if positive, attaches a transaction-level event trace to
+	// the run (RunMetrics.Trace).
+	TraceMax int
+}
+
+// DefaultOptions returns the full-size evaluation parameters.
+func DefaultOptions() Options {
+	return Options{
+		Ops:       2048,
+		MicroTxns: 24,
+		HashSlots: 4096,
+		TreeKeys:  2048,
+		Seed:      1,
+	}
+}
+
+// QuickOptions returns reduced sizes for unit tests and testing.B benches.
+func QuickOptions() Options {
+	return Options{
+		Ops:       384,
+		MicroTxns: 8,
+		HashSlots: 256,
+		TreeKeys:  128,
+		Seed:      1,
+	}
+}
+
+// machineFor builds the standard simulated machine of the evaluation:
+// 32 KB 8-way private L1s, a 512 KB 8-way shared inclusive L2, and the
+// next-line prefetcher that §7.4 identifies as a source of destructive
+// interference between cores.
+func machineFor(cores int) *sim.Machine { return machineForISA(cores, false) }
+
+// cacheConfig256K is the evaluation's shared-L2 geometry.
+func cacheConfig256K() cache.Config { return cache.Config{SizeBytes: 256 << 10, Assoc: 8} }
+
+func machineForISA(cores int, defaultISA bool) *sim.Machine {
+	cfg := sim.DefaultConfig(cores)
+	cfg.DefaultISA = defaultISA
+	cfg.L1 = cache.Config{SizeBytes: 32 << 10, Assoc: 8}
+	// The shared inclusive L2 is deliberately smaller than the combined
+	// footprint of the structures and the transaction-record table: the
+	// §7.4 destructive interference (one core's misses and prefetches
+	// back-invalidating another core's marked lines) requires L2
+	// replacement pressure to exist at all.
+	cfg.L2 = cache.Config{SizeBytes: 256 << 10, Assoc: 8}
+	// The machine is identical at every core count — baselines must not
+	// run on different hardware. The speculation noise (§7.4) only
+	// disturbs OTHER cores, so it is naturally inert single-threaded.
+	cfg.Prefetch = true
+	cfg.SpecRFOEvery = 32
+	return sim.New(cfg)
+}
+
+// Scheme names used throughout the harness.
+const (
+	SchemeSeq      = "seq"
+	SchemeLock     = "lock"
+	SchemeSTM      = "stm"
+	SchemeHASTM    = "hastm"
+	SchemeCautious = "hastm-cautious"
+	SchemeNoReuse  = "hastm-noreuse"
+	SchemeNaive    = "naive-aggressive"
+	SchemeHyTM     = "hytm"
+	SchemeHTM      = "htm"
+)
+
+// buildScheme instantiates a scheme on a machine. threads is the number of
+// worker threads the run will use (the HASTM watermark controller treats
+// single-threaded runs specially, §6).
+// stmObject builds the base STM at object granularity.
+func stmObject(m *sim.Machine) tm.System {
+	return stm.New(m, tm.Config{Granularity: tm.ObjectGranularity, ValidateEvery: 128})
+}
+
+func buildScheme(name string, m *sim.Machine, threads int) tm.System {
+	stmCfg := tm.Config{Granularity: tm.LineGranularity, ValidateEvery: 128}
+	hastmCfg := core.DefaultConfig(tm.LineGranularity)
+	hastmCfg.SingleThread = threads == 1
+	switch name {
+	case SchemeSeq:
+		return locksync.NewSeq(m)
+	case SchemeLock:
+		return locksync.NewLock(m)
+	case SchemeSTM:
+		return stm.New(m, stmCfg)
+	case SchemeHASTM:
+		return core.New(m, hastmCfg)
+	case SchemeCautious:
+		return core.NewCautious(m, hastmCfg)
+	case SchemeNoReuse:
+		return core.NewNoReuse(m, hastmCfg)
+	case SchemeNaive:
+		return core.NewNaiveAggressive(m, hastmCfg)
+	case SchemeHyTM:
+		return htm.NewHyTM(m, stmCfg, 4)
+	case SchemeHTM:
+		return htm.NewHTM(m)
+	default:
+		panic(fmt.Sprintf("harness: unknown scheme %q", name))
+	}
+}
+
+// Structure names.
+const (
+	WorkloadHash   = "hashtable"
+	WorkloadBST    = "bst"
+	WorkloadBTree  = "btree"
+	WorkloadObjBST = "objbst"
+)
+
+// Workloads lists the three §7.1 data structures.
+func Workloads() []string { return []string{WorkloadBST, WorkloadHash, WorkloadBTree} }
+
+func buildStructure(name string, m *mem.Memory, o Options) workloads.DataStructure {
+	switch name {
+	case WorkloadHash:
+		return workloads.NewHashtable(m, o.HashSlots)
+	case WorkloadBST:
+		return workloads.NewBST(m, o.TreeKeys)
+	case WorkloadBTree:
+		return workloads.NewBTree(m, o.TreeKeys)
+	case WorkloadObjBST:
+		return workloads.NewObjBST(m, o.TreeKeys)
+	default:
+		panic(fmt.Sprintf("harness: unknown workload %q", name))
+	}
+}
+
+// RunMetrics is the outcome of one measured run.
+type RunMetrics struct {
+	WallCycles uint64
+	Stats      *stats.Machine
+	CacheStats *cache.Hierarchy
+	Trace      *sim.TraceBuffer // non-nil when Options.TraceMax > 0
+}
+
+// runStructure executes the standard data-structure benchmark: populate,
+// then `o.Ops` operations (20% updates, as in the paper) split across
+// `cores` threads under the named scheme.
+func runStructure(scheme, workload string, cores int, o Options) RunMetrics {
+	m, err := RunOne(scheme, workload, cores, o, 20)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return m
+}
+
+// RunOne runs a single configuration — the programmatic form of the tmsim
+// command line. Every run starts with a warmup phase (caches filled, the
+// HASTM mode controller settled) separated from the measured phase by a
+// barrier; only steady-state cycles are reported, as a long benchmark run
+// on real hardware would.
+func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMetrics, error) {
+	if cores < 1 {
+		return RunMetrics{}, fmt.Errorf("cores must be >= 1, got %d", cores)
+	}
+	known := false
+	for _, s := range []string{
+		SchemeSeq, SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious,
+		SchemeNoReuse, SchemeNaive, SchemeHyTM, SchemeHTM,
+		SchemeWFilter, SchemeInterAtomic, SchemeObjHASTM, SchemeObjSTM, SchemeWatermark,
+	} {
+		if scheme == s {
+			known = true
+		}
+	}
+	if !known {
+		return RunMetrics{}, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	switch workload {
+	case WorkloadHash, WorkloadBST, WorkloadBTree, WorkloadObjBST:
+	default:
+		return RunMetrics{}, fmt.Errorf("unknown workload %q", workload)
+	}
+
+	machine := machineForISA(cores, o.DefaultISA)
+	var tb *sim.TraceBuffer
+	if o.TraceMax > 0 {
+		tb = sim.NewTraceBuffer(o.TraceMax * 16)
+		machine.SetTrace(tb)
+	}
+	sys := buildExtScheme(scheme, machine, cores)
+	ds := buildStructure(workload, machine.Mem, o)
+	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
+
+	warm := o.Warmup
+	if warm == 0 {
+		warm = o.Ops / 4
+		if warm < 64 {
+			warm = 64
+		}
+	}
+	perWarm := warm / cores
+	if perWarm == 0 {
+		perWarm = 1
+	}
+	per := o.Ops / cores
+
+	arrived := machine.Mem.Alloc(mem.LineSize, mem.LineSize)
+	goFlag := machine.Mem.Alloc(mem.LineSize, mem.LineSize)
+	starts := make([]uint64, cores)
+	ends := make([]uint64, cores)
+
+	progs := make([]sim.Program, cores)
+	for i := range progs {
+		id := i
+		progs[i] = func(c *sim.Ctx) {
+			th := sys.Thread(c)
+			wcfg := workloads.DriverConfig{Ops: perWarm, UpdatePercent: updatePct, Seed: o.Seed + 7777}
+			if err := workloads.RunThread(th, ds, wcfg); err != nil {
+				panic(fmt.Sprintf("harness warmup: %s/%s: %v", scheme, workload, err))
+			}
+			// Barrier: everyone checks in; core 0 resets the statistics
+			// (warmup excluded) and releases the measured phase.
+			for {
+				old := c.Load(arrived)
+				if ok, _ := c.CAS(arrived, old, old+1); ok {
+					break
+				}
+			}
+			if c.ID() == 0 {
+				for c.Load(arrived) != uint64(cores) {
+					c.Exec(1)
+				}
+				c.Step(func(m *sim.Machine) uint64 {
+					m.Stats.Reset()
+					return 1
+				})
+				c.Store(goFlag, 1)
+			} else {
+				for c.Load(goFlag) != 1 {
+					c.Exec(1)
+				}
+			}
+
+			starts[id] = c.Clock()
+			mcfg := workloads.DriverConfig{Ops: per, UpdatePercent: updatePct, Seed: o.Seed}
+			if err := workloads.RunThread(th, ds, mcfg); err != nil {
+				panic(fmt.Sprintf("harness: %s/%s: %v", scheme, workload, err))
+			}
+			ends[id] = c.Clock()
+		}
+	}
+	machine.Run(progs...)
+
+	var wall uint64
+	for i := range starts {
+		if d := ends[i] - starts[i]; d > wall {
+			wall = d
+		}
+	}
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats, CacheStats: machine.Caches, Trace: tb}, nil
+}
+
+// runMicro executes the Fig 15 microbenchmark kernel single-threaded. A
+// warmup pass brings the working region into the cache hierarchy before
+// the measured transactions, as in the paper's long-running critical
+// regions, so the comparison isolates barrier and validation overheads
+// rather than compulsory misses.
+func runMicro(scheme string, loadPct, loadReuse int, o Options) RunMetrics {
+	machine := machineFor(1)
+	sys := buildScheme(scheme, machine, 1)
+	// A region small enough to stay L1-resident: the paper's kernel
+	// models intra-transaction locality, not capacity misses.
+	mi := workloads.NewMicro(machine.Mem, 256)
+	mi.LoadPercent = loadPct
+	mi.LoadReuse = loadReuse
+	mi.StoreReuse = 40 // held constant in the paper
+
+	var wall uint64
+	machine.Run(func(c *sim.Ctx) {
+		th := sys.Thread(c)
+		r := workloads.NewRand(o.Seed)
+		runTxns := func(n int) {
+			for i := 0; i < n; i++ {
+				if err := th.Atomic(func(tx tm.Txn) error {
+					return mi.Op(tx, r, false)
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+		runTxns(4) // warmup: fill caches, settle the mode controller
+		start := c.Clock()
+		runTxns(o.MicroTxns)
+		wall = c.Clock() - start
+	})
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+}

@@ -1,0 +1,110 @@
+// Package mem provides the simulated flat physical address space shared by
+// all cores of a simulated machine.
+//
+// The store is word-granular (8-byte words, 8-byte aligned). Data always
+// lives here; caches track only metadata (tags, coherence state, mark bits).
+// Because the simulator serialises all memory operations in cycle order,
+// keeping a single authoritative copy of the data is exact.
+package mem
+
+import "fmt"
+
+// WordSize is the size in bytes of the addressable unit.
+const WordSize = 8
+
+// LineSize is the cache-line size in bytes, fixed at 64 as in the paper.
+const LineSize = 64
+
+// LineMask extracts the line-offset bits of an address.
+const LineMask = LineSize - 1
+
+// base is the first address handed out by the allocator. Address 0 is kept
+// unmapped so that a zero value read through a stray pointer faults loudly.
+const base = 0x10000
+
+// Memory is a flat simulated address space with a bump allocator.
+//
+// Memory is not safe for concurrent use; the simulator serialises access.
+type Memory struct {
+	words map[uint64]uint64
+	next  uint64 // next free address (bump pointer)
+	// allocated tracks the extent of every allocation so out-of-bounds
+	// accesses can be detected in tests.
+	limit uint64
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{
+		words: make(map[uint64]uint64, 1<<16),
+		next:  base,
+		limit: base,
+	}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two,
+// at least WordSize) and returns the base address. Memory is zeroed.
+func (m *Memory) Alloc(size, align uint64) uint64 {
+	if align < WordSize {
+		align = WordSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	if size == 0 {
+		size = WordSize
+	}
+	addr := (m.next + align - 1) &^ (align - 1)
+	m.next = addr + ((size + WordSize - 1) &^ (WordSize - 1))
+	m.limit = m.next
+	return addr
+}
+
+// AllocLines reserves n cache lines, line-aligned, and returns the base
+// address. Used for structures that must not share lines (e.g. the
+// transaction-record table, whose records are line-aligned "to prevent
+// ping-ponging").
+func (m *Memory) AllocLines(n uint64) uint64 {
+	return m.Alloc(n*LineSize, LineSize)
+}
+
+// Load returns the word at addr. addr must be word-aligned and inside an
+// allocation.
+func (m *Memory) Load(addr uint64) uint64 {
+	m.check(addr)
+	return m.words[addr]
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr, val uint64) {
+	m.check(addr)
+	if val == 0 {
+		delete(m.words, addr) // keep the map sparse; zero is the default
+		return
+	}
+	m.words[addr] = val
+}
+
+// Allocated reports whether addr falls inside some allocation.
+func (m *Memory) Allocated(addr uint64) bool {
+	return addr >= base && addr < m.limit
+}
+
+// Footprint returns the number of bytes handed out so far.
+func (m *Memory) Footprint() uint64 { return m.limit - base }
+
+func (m *Memory) check(addr uint64) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned access at %#x", addr))
+	}
+	if !m.Allocated(addr) {
+		panic(fmt.Sprintf("mem: access to unallocated address %#x (limit %#x)", addr, m.limit))
+	}
+}
+
+// LineAddr returns the address of the cache line containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(LineMask) }
+
+// SubBlock returns the index (0..3) of the 16-byte sub-block of addr within
+// its cache line. Mark bits are kept per sub-block.
+func SubBlock(addr uint64) uint { return uint((addr & LineMask) >> 4) }

@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := New()
+	for _, align := range []uint64{8, 16, 64, 256} {
+		addr := m.Alloc(24, align)
+		if addr%align != 0 {
+			t.Errorf("Alloc(24, %d) = %#x, not aligned", align, addr)
+		}
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	m := New()
+	a := m.Alloc(64, 8)
+	b := m.Alloc(64, 8)
+	if b < a+64 {
+		t.Fatalf("allocations overlap: a=%#x b=%#x", a, b)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New()
+	addr := m.Alloc(128, 8)
+	for i := uint64(0); i < 16; i++ {
+		m.Store(addr+i*8, i*i+1)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if got := m.Load(addr + i*8); got != i*i+1 {
+			t.Errorf("word %d: got %d, want %d", i, got, i*i+1)
+		}
+	}
+}
+
+func TestZeroDefault(t *testing.T) {
+	m := New()
+	addr := m.Alloc(64, 8)
+	if got := m.Load(addr); got != 0 {
+		t.Fatalf("fresh allocation reads %d, want 0", got)
+	}
+	m.Store(addr, 7)
+	m.Store(addr, 0)
+	if got := m.Load(addr); got != 0 {
+		t.Fatalf("after storing 0, read %d", got)
+	}
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	m := New()
+	addr := m.Alloc(64, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access did not panic")
+		}
+	}()
+	m.Load(addr + 4)
+}
+
+func TestUnallocatedAccessPanics(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unallocated access did not panic")
+		}
+	}()
+	m.Load(8) // below the allocator base
+}
+
+func TestAllocLinesAligned(t *testing.T) {
+	m := New()
+	m.Alloc(24, 8) // disturb alignment
+	base := m.AllocLines(4)
+	if base%LineSize != 0 {
+		t.Fatalf("AllocLines base %#x not line-aligned", base)
+	}
+	if !m.Allocated(base + 4*LineSize - 8) {
+		t.Fatal("AllocLines did not reserve the full span")
+	}
+}
+
+func TestLineAddrAndSubBlock(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		line uint64
+		sub  uint
+	}{
+		{0x10000, 0x10000, 0},
+		{0x10008, 0x10000, 0},
+		{0x10010, 0x10000, 1},
+		{0x10038, 0x10000, 3},
+		{0x1003f, 0x10000, 3},
+		{0x10040, 0x10040, 0},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.addr); got != c.line {
+			t.Errorf("LineAddr(%#x) = %#x, want %#x", c.addr, got, c.line)
+		}
+		if got := SubBlock(c.addr); got != c.sub {
+			t.Errorf("SubBlock(%#x) = %d, want %d", c.addr, got, c.sub)
+		}
+	}
+}
+
+// Property: a stored value is always read back until overwritten, across
+// arbitrary store sequences within one allocation.
+func TestQuickStoreLoad(t *testing.T) {
+	m := New()
+	const words = 256
+	base := m.Alloc(words*8, 8)
+	shadow := make(map[uint64]uint64)
+	f := func(idx uint16, val uint64) bool {
+		addr := base + uint64(idx%words)*8
+		m.Store(addr, val)
+		shadow[addr] = val
+		for a, want := range shadow {
+			if m.Load(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	m := New()
+	before := m.Footprint()
+	m.Alloc(1024, 8)
+	if m.Footprint() < before+1024 {
+		t.Fatalf("footprint %d did not grow by allocation size", m.Footprint())
+	}
+}

@@ -1,0 +1,565 @@
+// Package sim is the multi-core machine simulator that stands in for the
+// paper's "accurate multi-core IA32 simulator".
+//
+// Each simulated core runs a Go function (its program) against a shared
+// simulated address space through a Ctx. A conservative scheduler serialises
+// every architectural operation in global cycle order: the core with the
+// smallest local clock executes the next operation (ties broken by core id),
+// so runs are deterministic and the interleaving IS the timing model.
+//
+// The Ctx exposes ordinary loads/stores/CAS, an Exec(n) charge for ALU
+// work, and the paper's six ISA extensions (loadsetmark, loadresetmark,
+// loadtestmark, resetmarkall, resetmarkcounter, readmarkcounter) over the
+// mark bits kept by the cache model. A machine can also be configured with
+// the Section 3.3 *default implementation*, which marks nothing and bumps
+// the mark counter on every loadsetmark — functionally correct, no speedup.
+package sim
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/cache"
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/stats"
+)
+
+// Latencies is the additive timing model, in cycles.
+type Latencies struct {
+	ALU    uint64 // one arithmetic/branch instruction
+	L1Hit  uint64
+	L2Hit  uint64
+	Mem    uint64
+	CAS    uint64 // extra cost of the atomic read-modify-write beyond the access
+	StoreQ uint64 // extra cost of loadsetmark consuming a store-queue entry
+	// HTMTrack and HTMSpecStore are the hardware-TM baseline's per-access
+	// costs: read/write-set tracking on every transactional access, plus
+	// the speculative write buffering of a transactional store. The 2006
+	// HTM proposals the paper compares against buffer updates in
+	// dedicated structures whose management is not free; these two knobs
+	// calibrate that cost (they do not affect STM or HASTM).
+	HTMTrack     uint64
+	HTMSpecStore uint64
+	// TestMarkBranch models the paper's §7.3 observation: the conditional
+	// branch after loadtestmark resolves late because it depends on the
+	// immediately preceding load, so every loadtestmark pays this on top.
+	TestMarkBranch uint64
+	RingTransition uint64 // cost of a simulated interrupt / OS transition
+}
+
+// DefaultLatencies returns the timing model used by all experiments. L1
+// hits cost one cycle: the paper notes (§7.3) that the STM's barrier
+// sequences are friendly to out-of-order execution — independent cached
+// loads overlap — so an additive model must charge their throughput cost,
+// not their full latency. The loadtestmark-dependent branch, which the
+// paper singles out as resolving late, pays TestMarkBranch on top.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		ALU:            1,
+		L1Hit:          1,
+		L2Hit:          14,
+		Mem:            200,
+		CAS:            6,
+		StoreQ:         0, // occupies a store-queue slot; throughput-neutral
+		TestMarkBranch: 2,
+		RingTransition: 500,
+		HTMTrack:       3,
+		HTMSpecStore:   4,
+	}
+}
+
+// Config describes a machine.
+type Config struct {
+	Cores int
+	L1    cache.Config
+	L2    cache.Config
+	Lat   Latencies
+
+	// DefaultISA selects the Section 3.3 default implementation of the
+	// mark-bit instructions (no marking; loadsetmark and resetmarkall
+	// increment the mark counter). Software runs correctly, unaccelerated.
+	DefaultISA bool
+
+	// Prefetch enables the next-line L1 prefetcher (a source of the
+	// destructive interference discussed in §7.4).
+	Prefetch bool
+
+	// MarkCounterMax is the saturation value of the per-thread mark
+	// counter. Zero means "use the default" (a 16-bit counter).
+	MarkCounterMax uint64
+
+	// InterruptEvery, if non-zero, injects a ring transition on each core
+	// every so many cycles; the hardware executes resetmarkall on the
+	// transition, exactly as §5 prescribes for interrupts.
+	InterruptEvery uint64
+
+	// ThreadsPerCore groups hardware threads onto shared L1s (SMT, §3.1:
+	// each thread keeps its own mark bits; stores by one thread invalidate
+	// the siblings' marks). 0 or 1 disables SMT.
+	ThreadsPerCore int
+
+	// SpecRFOEvery, if non-zero, makes each core issue one speculative
+	// read-for-ownership request (a mispredicted-path store prefetch)
+	// every so many demand accesses, aimed at a recently accessed line.
+	// On a shared data structure those lines are hot in other cores too,
+	// so the request invalidates — and unmarks — their copies: §7.4's
+	// "significant spurious aborts in a modern OOO processor", which "are
+	// not directly related to the transaction size".
+	SpecRFOEvery uint64
+}
+
+// DefaultConfig returns the quad-core configuration modelled on the paper's
+// simulated machine: 32 KB 8-way L1s, shared 512 KB 8-way inclusive L2.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores: cores,
+		L1:    cache.Config{SizeBytes: 32 << 10, Assoc: 8},
+		L2:    cache.Config{SizeBytes: 512 << 10, Assoc: 8},
+		Lat:   DefaultLatencies(),
+	}
+}
+
+const defaultMarkCounterMax = 1<<16 - 1
+
+// Program is the code one core runs.
+type Program func(*Ctx)
+
+// Machine is one simulated multi-core system.
+type Machine struct {
+	cfg    Config
+	Mem    *mem.Memory
+	Caches *cache.Hierarchy
+	Stats  *stats.Machine
+
+	cores  []*Ctx
+	events chan event
+	ran    bool
+	trace  *TraceBuffer
+}
+
+type event struct {
+	core     int
+	finished bool
+}
+
+// New builds a machine. The returned machine's Mem can be used directly
+// (at zero simulated cost) to populate data structures before Run, matching
+// the paper's "all the data structures were populated before the
+// experimental run".
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("sim: Config.Cores must be positive")
+	}
+	if cfg.MarkCounterMax == 0 {
+		cfg.MarkCounterMax = defaultMarkCounterMax
+	}
+	m := &Machine{
+		cfg: cfg,
+		Mem: mem.New(),
+		Caches: cache.New(cache.HierarchyConfig{
+			Cores:          cfg.Cores,
+			ThreadsPerCore: cfg.ThreadsPerCore,
+			L1:             cfg.L1,
+			L2:             cfg.L2,
+			Prefetch:       cfg.Prefetch,
+		}),
+		Stats:  stats.NewMachine(cfg.Cores),
+		events: make(chan event),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &Ctx{
+			m:      m,
+			id:     i,
+			resume: make(chan struct{}),
+			cat:    stats.App,
+		})
+	}
+	m.Caches.AddDropListener(markDropper{m})
+	return m
+}
+
+// markDropper increments a core's saturating mark counter whenever one of
+// its marked lines leaves the cache — the architected behaviour of §3.
+type markDropper struct{ m *Machine }
+
+func (d markDropper) LineDropped(core int, lineAddr uint64, marks cache.MarkMasks, reason cache.DropReason, byCore int) {
+	for plane, mask := range marks {
+		if mask != 0 {
+			d.m.cores[core].bumpMarkCounter(plane)
+		}
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Core returns core i's context (for registering listeners or inspecting
+// clocks after a run).
+func (m *Machine) Core(i int) *Ctx { return m.cores[i] }
+
+// Run executes one program per core (programs beyond Config.Cores are
+// rejected; cores without a program stay idle) and returns the simulated
+// wall-clock time: the largest core-local clock at completion.
+func (m *Machine) Run(progs ...Program) uint64 {
+	if m.ran {
+		panic("sim: Machine.Run called twice; build a fresh machine per run")
+	}
+	m.ran = true
+	if len(progs) > m.cfg.Cores {
+		panic(fmt.Sprintf("sim: %d programs for %d cores", len(progs), m.cfg.Cores))
+	}
+	running := 0
+	active := make([]bool, m.cfg.Cores)
+	for i, p := range progs {
+		if p == nil {
+			continue
+		}
+		running++
+		active[i] = true
+		go func(c *Ctx, p Program) {
+			p(c)
+			// One final grant to report completion deterministically.
+			<-c.resume
+			m.events <- event{core: c.id, finished: true}
+		}(m.cores[i], p)
+	}
+
+	for running > 0 {
+		// Grant the non-finished active core with the smallest clock.
+		pick := -1
+		for i := 0; i < m.cfg.Cores; i++ {
+			if !active[i] {
+				continue
+			}
+			if pick < 0 || m.cores[i].clock < m.cores[pick].clock {
+				pick = i
+			}
+		}
+		m.cores[pick].resume <- struct{}{}
+		ev := <-m.events
+		if ev.finished {
+			active[ev.core] = false
+			running--
+		}
+	}
+
+	var wall uint64
+	for _, c := range m.cores {
+		if c.clock > wall {
+			wall = c.clock
+		}
+	}
+	return wall
+}
+
+// Ctx is one core's architectural interface. All methods must be called
+// only from that core's program goroutine.
+type Ctx struct {
+	m      *Machine
+	id     int
+	resume chan struct{}
+	clock  uint64
+
+	markCounter   [cache.NumMarkPlanes]uint64
+	lastInterrupt uint64
+
+	// Wrong-path RFO state: a small ring of recently accessed lines and
+	// a deterministic jitter source.
+	recent     [16]uint64
+	recentPos  int
+	accessTick uint64
+	rfoRng     uint64
+
+	cat stats.Category
+}
+
+// ID returns the core number.
+func (c *Ctx) ID() int { return c.id }
+
+// Clock returns the core-local cycle count.
+func (c *Ctx) Clock() uint64 { return c.clock }
+
+// Machine returns the owning machine.
+func (c *Ctx) Machine() *Machine { return c.m }
+
+// SetCat switches the stats category subsequent cycles are attributed to
+// and returns the previous category, enabling the push/pop idiom:
+//
+//	defer c.SetCat(c.SetCat(stats.RdBar))
+func (c *Ctx) SetCat(cat stats.Category) stats.Category {
+	old := c.cat
+	c.cat = cat
+	return old
+}
+
+func (c *Ctx) stats() *stats.Core { return &c.m.Stats.Cores[c.id] }
+
+func (c *Ctx) charge(cycles uint64) {
+	c.clock += cycles
+	c.stats().Cycles[c.cat] += cycles
+}
+
+// acquire blocks until the scheduler grants this core the next operation,
+// then applies any pending ring transition.
+func (c *Ctx) acquire() {
+	<-c.resume
+	if iv := c.m.cfg.InterruptEvery; iv > 0 && (c.clock-c.lastInterrupt) >= iv {
+		c.lastInterrupt = c.clock
+		// The interrupt path executes resetmarkall before resuming (§5).
+		for plane := 0; plane < cache.NumMarkPlanes; plane++ {
+			c.m.Caches.ClearAllMarks(c.id, plane)
+			c.bumpMarkCounter(plane)
+		}
+		c.charge(c.m.cfg.Lat.RingTransition)
+	}
+}
+
+func (c *Ctx) release() { c.m.events <- event{core: c.id} }
+
+func (c *Ctx) bumpMarkCounter(plane int) {
+	if c.markCounter[plane] < c.m.cfg.MarkCounterMax {
+		c.markCounter[plane]++
+	}
+}
+
+// noteAccess records a demand access and, at the configured rate, issues
+// the speculative RFO. Must be called while holding the grant.
+func (c *Ctx) noteAccess(addr uint64) {
+	every := c.m.cfg.SpecRFOEvery
+	if every == 0 {
+		return
+	}
+	c.recent[c.recentPos&15] = addr &^ 63
+	c.recentPos++
+	c.accessTick++
+	if c.accessTick < every {
+		return
+	}
+	c.accessTick = 0
+	c.rfoRng = c.rfoRng*6364136223846793005 + uint64(c.id)*2654435761 + 1442695040888963407
+	n := c.recentPos
+	if n > 16 {
+		n = 16
+	}
+	target := c.recent[(c.rfoRng>>33)%uint64(n)]
+	c.m.Caches.SpeculativeRFO(c.id, target)
+}
+
+func (c *Ctx) accessCost(res cache.AccessResult) uint64 {
+	switch {
+	case res.L1Hit:
+		return c.m.cfg.Lat.L1Hit
+	case res.L2Hit:
+		return c.m.cfg.Lat.L2Hit
+	default:
+		return c.m.cfg.Lat.Mem
+	}
+}
+
+// Exec charges n ALU instructions.
+func (c *Ctx) Exec(n uint64) {
+	if n == 0 {
+		return
+	}
+	c.acquire()
+	c.charge(n * c.m.cfg.Lat.ALU)
+	c.release()
+}
+
+// Load returns the word at addr.
+func (c *Ctx) Load(addr uint64) uint64 {
+	c.acquire()
+	c.noteAccess(addr)
+	res := c.m.Caches.Access(c.id, addr, false)
+	v := c.m.Mem.Load(addr)
+	c.charge(c.accessCost(res))
+	c.release()
+	return v
+}
+
+// Store writes the word at addr.
+func (c *Ctx) Store(addr, val uint64) {
+	c.acquire()
+	c.noteAccess(addr)
+	res := c.m.Caches.Access(c.id, addr, true)
+	c.m.Mem.Store(addr, val)
+	c.charge(c.accessCost(res))
+	c.release()
+}
+
+// CAS atomically compares-and-swaps the word at addr, returning success and
+// the value observed.
+func (c *Ctx) CAS(addr, old, new uint64) (bool, uint64) {
+	c.acquire()
+	c.noteAccess(addr)
+	res := c.m.Caches.Access(c.id, addr, true)
+	cur := c.m.Mem.Load(addr)
+	ok := cur == old
+	if ok {
+		c.m.Mem.Store(addr, new)
+	}
+	c.charge(c.accessCost(res) + c.m.cfg.Lat.CAS)
+	c.release()
+	return ok, cur
+}
+
+// Alloc reserves simulated memory as one granted architectural step: the
+// bump allocator is shared machine state, so allocation must be
+// serialised like any other access for runs to stay deterministic. The
+// charge models an allocation fast path.
+func (c *Ctx) Alloc(size, align uint64) uint64 {
+	var addr uint64
+	c.Step(func(m *Machine) uint64 {
+		addr = m.Mem.Alloc(size, align)
+		return 8
+	})
+	return addr
+}
+
+// Step runs f as a single granted architectural operation with exclusive
+// access to the machine's shared state (memory, caches, listener-managed
+// structures); f returns the cycles to charge. The HTM model builds its
+// composite operations (speculative access + set tracking, atomic commit)
+// out of Steps so that all of its state changes stay inside granted
+// sections and runs remain deterministic. f must not call other Ctx
+// methods.
+func (c *Ctx) Step(f func(m *Machine) uint64) {
+	c.acquire()
+	c.charge(f(c.m))
+	c.release()
+}
+
+// AccessCost performs the cache access for core and returns its latency;
+// a helper for Step-based composite operations.
+func (m *Machine) AccessCost(core int, addr uint64, write bool) uint64 {
+	res := m.Caches.Access(core, addr, write)
+	switch {
+	case res.L1Hit:
+		return m.cfg.Lat.L1Hit
+	case res.L2Hit:
+		return m.cfg.Lat.L2Hit
+	default:
+		return m.cfg.Lat.Mem
+	}
+}
+
+// --- The six proposed instructions (§3.1) ---------------------------------
+//
+// The primary forms take a filter plane; the paper implemented one filter
+// ("We only implemented a single filter, but one could support multiple
+// filters concurrently with independent mark bits") and the plane-less
+// wrappers below operate on plane 0.
+
+// LoadSetMarkP loads the word at addr and sets the plane's mark bits
+// covering [addr, addr+gran). Under the default ISA it loads and
+// increments the plane's mark counter instead.
+func (c *Ctx) LoadSetMarkP(plane int, addr, gran uint64) uint64 {
+	c.acquire()
+	c.noteAccess(addr)
+	res := c.m.Caches.Access(c.id, addr, false)
+	v := c.m.Mem.Load(addr)
+	if c.m.cfg.DefaultISA {
+		c.bumpMarkCounter(plane)
+	} else {
+		c.m.Caches.SetMark(c.id, plane, addr, gran)
+	}
+	c.charge(c.accessCost(res) + c.m.cfg.Lat.StoreQ)
+	c.release()
+	return v
+}
+
+// LoadSetMark is LoadSetMarkP on filter plane 0.
+func (c *Ctx) LoadSetMark(addr, gran uint64) uint64 { return c.LoadSetMarkP(0, addr, gran) }
+
+// LoadResetMarkP loads the word at addr and clears the plane's covering
+// mark bits.
+func (c *Ctx) LoadResetMarkP(plane int, addr, gran uint64) uint64 {
+	c.acquire()
+	res := c.m.Caches.Access(c.id, addr, false)
+	v := c.m.Mem.Load(addr)
+	if !c.m.cfg.DefaultISA {
+		c.m.Caches.ClearMark(c.id, plane, addr, gran)
+	}
+	c.charge(c.accessCost(res))
+	c.release()
+	return v
+}
+
+// LoadResetMark is LoadResetMarkP on filter plane 0.
+func (c *Ctx) LoadResetMark(addr, gran uint64) uint64 { return c.LoadResetMarkP(0, addr, gran) }
+
+// LoadTestMarkP loads the word at addr and returns the AND of the plane's
+// covering mark bits (the carry flag). Under the default ISA the flag is
+// always false. The charge includes the dependent-branch resolve penalty.
+func (c *Ctx) LoadTestMarkP(plane int, addr, gran uint64) (uint64, bool) {
+	c.acquire()
+	c.noteAccess(addr)
+	marked := false
+	if !c.m.cfg.DefaultISA {
+		// Test before the access updates residency: the test asks about
+		// the line's state as the load finds it.
+		marked = c.m.Caches.TestMark(c.id, plane, addr, gran)
+	}
+	res := c.m.Caches.Access(c.id, addr, false)
+	v := c.m.Mem.Load(addr)
+	c.charge(c.accessCost(res) + c.m.cfg.Lat.TestMarkBranch)
+	c.release()
+	return v, marked
+}
+
+// LoadTestMark is LoadTestMarkP on filter plane 0.
+func (c *Ctx) LoadTestMark(addr, gran uint64) (uint64, bool) { return c.LoadTestMarkP(0, addr, gran) }
+
+// ResetMarkAllP clears every mark bit of the plane in this core's cache
+// and increments the plane's mark counter.
+func (c *Ctx) ResetMarkAllP(plane int) {
+	c.acquire()
+	if !c.m.cfg.DefaultISA {
+		c.m.Caches.ClearAllMarks(c.id, plane)
+	}
+	c.bumpMarkCounter(plane)
+	c.charge(c.m.cfg.Lat.ALU)
+	c.release()
+}
+
+// ResetMarkAll is ResetMarkAllP on filter plane 0.
+func (c *Ctx) ResetMarkAll() { c.ResetMarkAllP(0) }
+
+// ResetMarkCounterP zeroes the plane's mark counter.
+func (c *Ctx) ResetMarkCounterP(plane int) {
+	c.acquire()
+	c.markCounter[plane] = 0
+	c.charge(c.m.cfg.Lat.ALU)
+	c.release()
+}
+
+// ResetMarkCounter is ResetMarkCounterP on filter plane 0.
+func (c *Ctx) ResetMarkCounter() { c.ResetMarkCounterP(0) }
+
+// ReadMarkCounterP returns the plane's saturating mark counter.
+func (c *Ctx) ReadMarkCounterP(plane int) uint64 {
+	c.acquire()
+	v := c.markCounter[plane]
+	c.charge(c.m.cfg.Lat.ALU)
+	c.release()
+	return v
+}
+
+// ReadMarkCounter is ReadMarkCounterP on filter plane 0.
+func (c *Ctx) ReadMarkCounter() uint64 { return c.ReadMarkCounterP(0) }
+
+// RingTransition models an explicit OS transition (context switch, GC
+// safepoint): the hardware discards all marks and bumps the counter, and
+// the core pays the transition cost. The transaction is NOT aborted — it
+// merely falls back to full software validation, the paper's key
+// virtualization property.
+func (c *Ctx) RingTransition() {
+	c.acquire()
+	for plane := 0; plane < cache.NumMarkPlanes; plane++ {
+		if !c.m.cfg.DefaultISA {
+			c.m.Caches.ClearAllMarks(c.id, plane)
+		}
+		c.bumpMarkCounter(plane)
+	}
+	c.charge(c.m.cfg.Lat.RingTransition)
+	c.release()
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceEvent is one timestamped record of TM activity, for debugging and
+// for the tmsim -trace flag. Events are a diagnostic facility: they carry
+// no simulated cost and do not perturb runs.
+type TraceEvent struct {
+	Cycle  uint64 // the emitting core's local clock
+	Core   int
+	Kind   string // "begin", "commit", "abort", "validate", ...
+	Detail string
+	seq    uint64 // tie-break for stable ordering
+}
+
+// TraceBuffer collects events from all cores. Appends are mutex-protected
+// (goroutines emit between grants); Events() returns them sorted by cycle,
+// with the emission sequence as the tie-break.
+type TraceBuffer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	seq    uint64
+	limit  int
+}
+
+// NewTraceBuffer creates a buffer holding at most limit events (0 = 64k).
+// When full, further events are dropped and counted.
+func NewTraceBuffer(limit int) *TraceBuffer {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	return &TraceBuffer{limit: limit}
+}
+
+func (b *TraceBuffer) add(ev TraceEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	ev.seq = b.seq
+	if len(b.events) < b.limit {
+		b.events = append(b.events, ev)
+	}
+}
+
+// Events returns the collected events in cycle order.
+func (b *TraceBuffer) Events() []TraceEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TraceEvent, len(b.events))
+	copy(out, b.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// Len returns the number of collected events.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Render writes up to max events as text lines (0 = all).
+func (b *TraceBuffer) Render(w io.Writer, max int) {
+	evs := b.Events()
+	if max > 0 && len(evs) > max {
+		evs = evs[:max]
+	}
+	for _, e := range evs {
+		fmt.Fprintf(w, "%10d  core%-2d %-10s %s\n", e.Cycle, e.Core, e.Kind, e.Detail)
+	}
+}
+
+// SetTrace attaches a trace buffer to the machine; nil detaches it.
+// Attach before Run.
+func (m *Machine) SetTrace(b *TraceBuffer) { m.trace = b }
+
+// Trace returns the attached buffer, or nil.
+func (m *Machine) Trace() *TraceBuffer { return m.trace }
+
+// TraceEvent emits a diagnostic event stamped with this core's clock. It
+// is free (no simulated cost) and a no-op without an attached buffer, so
+// subsystems can emit unconditionally.
+func (c *Ctx) TraceEvent(kind, detail string) {
+	b := c.m.trace
+	if b == nil {
+		return
+	}
+	b.add(TraceEvent{Cycle: c.clock, Core: c.id, Kind: kind, Detail: detail})
+}

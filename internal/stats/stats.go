@@ -1,0 +1,241 @@
+// Package stats accumulates simulated-cycle attribution and TM event
+// counters. The categories mirror the execution-time breakdown of the
+// paper's Figure 12 (TLS access, stmwritebarrier, stmcommit, stmvalidate,
+// stmreadbarrier, plus application work) with a few extra buckets for the
+// other schemes.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels where simulated cycles are spent.
+type Category int
+
+const (
+	// App is the transactional application work itself (data loads/stores
+	// and compute between barriers).
+	App Category = iota
+	// TLS is access to the thread-local transaction descriptor.
+	TLS
+	// RdBar is the STM/HASTM read barrier.
+	RdBar
+	// WrBar is the STM/HASTM write barrier, including undo logging.
+	WrBar
+	// Validate is read-set validation (periodic and at commit).
+	Validate
+	// Commit is transaction commit/abort bookkeeping other than validation.
+	Commit
+	// Lock is lock acquire/release in the lock baseline.
+	Lock
+	// HTM is hardware-transaction begin/commit/abort overhead and HyTM
+	// barrier checks.
+	HTM
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	App:      "app",
+	TLS:      "tls",
+	RdBar:    "rdbar",
+	WrBar:    "wrbar",
+	Validate: "validate",
+	Commit:   "commit",
+	Lock:     "lock",
+	HTM:      "htm",
+}
+
+func (c Category) String() string {
+	if c >= 0 && int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// AbortCause classifies transaction aborts.
+type AbortCause int
+
+const (
+	// AbortConflict is a true data conflict detected by validation or an
+	// ownership check.
+	AbortConflict AbortCause = iota
+	// AbortAggressive is an aggressive-mode commit failure: the mark
+	// counter was non-zero, so the unlogged read set could not be trusted.
+	AbortAggressive
+	// AbortCapacity is an HTM abort caused by a transactional line leaving
+	// the cache (eviction or back-invalidation), i.e. a spurious abort.
+	AbortCapacity
+	// AbortHTMConflict is an HTM abort caused by a remote coherence
+	// request hitting the transaction's read or write set.
+	AbortHTMConflict
+	// AbortExplicit is a user- or retry-initiated abort.
+	AbortExplicit
+	numAbortCauses
+)
+
+var abortNames = [numAbortCauses]string{
+	AbortConflict:    "conflict",
+	AbortAggressive:  "aggressive-markctr",
+	AbortCapacity:    "htm-capacity",
+	AbortHTMConflict: "htm-conflict",
+	AbortExplicit:    "explicit",
+}
+
+func (a AbortCause) String() string {
+	if a >= 0 && int(a) < len(abortNames) {
+		return abortNames[a]
+	}
+	return fmt.Sprintf("AbortCause(%d)", int(a))
+}
+
+// Core accumulates per-core statistics.
+type Core struct {
+	Cycles [numCategories]uint64
+
+	Commits           uint64
+	Aborts            [numAbortCauses]uint64
+	Retries           uint64
+	FilteredReads     uint64 // read barriers answered by the mark-bit fast path
+	UnfilteredReads   uint64
+	FastValidations   uint64 // validations answered by markCounter==0
+	FullValidations   uint64
+	ReadsLogged       uint64
+	ReadLogsSkipped   uint64 // aggressive mode: read-set appends avoided
+	FilteredWrites    uint64 // write barriers answered by the plane-1 fast path
+	UndoLogsSkipped   uint64 // undo-log appends avoided by plane-1 marks
+	MarkCounterResets uint64
+	AggressiveCommits uint64
+	CautiousCommits   uint64
+	HTMFallbacks      uint64 // HyTM transactions that fell back to software
+	WaitCycles        uint64 // cycles spent spinning on locks/contention
+}
+
+// Total returns all cycles attributed to this core.
+func (c *Core) Total() uint64 {
+	var t uint64
+	for _, v := range c.Cycles {
+		t += v
+	}
+	return t
+}
+
+// TotalAborts sums aborts over all causes.
+func (c *Core) TotalAborts() uint64 {
+	var t uint64
+	for _, v := range c.Aborts {
+		t += v
+	}
+	return t
+}
+
+// Machine aggregates per-core stats for a simulation run.
+type Machine struct {
+	Cores []Core
+}
+
+// NewMachine returns stats storage for n cores.
+func NewMachine(n int) *Machine {
+	return &Machine{Cores: make([]Core, n)}
+}
+
+// Reset zeroes every counter, e.g. at the end of a warmup phase so that
+// only steady-state behaviour is reported.
+func (m *Machine) Reset() {
+	for i := range m.Cores {
+		m.Cores[i] = Core{}
+	}
+}
+
+// TotalCycles sums attributed cycles over every core.
+func (m *Machine) TotalCycles() uint64 {
+	var t uint64
+	for i := range m.Cores {
+		t += m.Cores[i].Total()
+	}
+	return t
+}
+
+// CategoryCycles sums one category over every core.
+func (m *Machine) CategoryCycles(cat Category) uint64 {
+	var t uint64
+	for i := range m.Cores {
+		t += m.Cores[i].Cycles[cat]
+	}
+	return t
+}
+
+// Commits sums committed transactions over every core.
+func (m *Machine) Commits() uint64 {
+	var t uint64
+	for i := range m.Cores {
+		t += m.Cores[i].Commits
+	}
+	return t
+}
+
+// Aborts sums aborts of one cause over every core.
+func (m *Machine) Aborts(cause AbortCause) uint64 {
+	var t uint64
+	for i := range m.Cores {
+		t += m.Cores[i].Aborts[cause]
+	}
+	return t
+}
+
+// TotalAborts sums aborts of every cause over every core.
+func (m *Machine) TotalAborts() uint64 {
+	var t uint64
+	for i := range m.Cores {
+		t += m.Cores[i].TotalAborts()
+	}
+	return t
+}
+
+// Breakdown returns the fraction of total cycles per category, skipping
+// empty categories, sorted by descending share.
+func (m *Machine) Breakdown() []CategoryShare {
+	total := m.TotalCycles()
+	if total == 0 {
+		return nil
+	}
+	var out []CategoryShare
+	for _, cat := range Categories() {
+		c := m.CategoryCycles(cat)
+		if c == 0 {
+			continue
+		}
+		out = append(out, CategoryShare{Category: cat, Cycles: c, Share: float64(c) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	return out
+}
+
+// CategoryShare is one row of Breakdown.
+type CategoryShare struct {
+	Category Category
+	Cycles   uint64
+	Share    float64
+}
+
+// String renders the breakdown compactly, e.g. "rdbar 38.2% validate 21.0% ...".
+func (m *Machine) String() string {
+	var b strings.Builder
+	for i, s := range m.Breakdown() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s %.1f%%", s.Category, s.Share*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryNames(t *testing.T) {
+	for _, c := range Categories() {
+		if strings.HasPrefix(c.String(), "Category(") {
+			t.Errorf("category %d has no name", int(c))
+		}
+	}
+}
+
+func TestAbortCauseNames(t *testing.T) {
+	for a := AbortCause(0); a < numAbortCauses; a++ {
+		if strings.HasPrefix(a.String(), "AbortCause(") {
+			t.Errorf("abort cause %d has no name", int(a))
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	m := NewMachine(2)
+	m.Cores[0].Cycles[App] = 100
+	m.Cores[0].Cycles[RdBar] = 50
+	m.Cores[1].Cycles[App] = 25
+	if got := m.TotalCycles(); got != 175 {
+		t.Fatalf("TotalCycles = %d", got)
+	}
+	if got := m.CategoryCycles(App); got != 125 {
+		t.Fatalf("CategoryCycles(App) = %d", got)
+	}
+}
+
+func TestBreakdownSharesSumToOne(t *testing.T) {
+	f := func(app, rd, wr, val uint16) bool {
+		m := NewMachine(1)
+		m.Cores[0].Cycles[App] = uint64(app)
+		m.Cores[0].Cycles[RdBar] = uint64(rd)
+		m.Cores[0].Cycles[WrBar] = uint64(wr)
+		m.Cores[0].Cycles[Validate] = uint64(val)
+		bd := m.Breakdown()
+		if m.TotalCycles() == 0 {
+			return bd == nil
+		}
+		var sum float64
+		for i, s := range bd {
+			sum += s.Share
+			if i > 0 && bd[i-1].Cycles < s.Cycles {
+				return false // must be sorted descending
+			}
+		}
+		return sum > 0.9999 && sum < 1.0001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortAccounting(t *testing.T) {
+	m := NewMachine(2)
+	m.Cores[0].Aborts[AbortConflict] = 3
+	m.Cores[1].Aborts[AbortAggressive] = 2
+	m.Cores[1].Commits = 5
+	if m.TotalAborts() != 5 {
+		t.Fatalf("TotalAborts = %d", m.TotalAborts())
+	}
+	if m.Aborts(AbortConflict) != 3 {
+		t.Fatalf("Aborts(conflict) = %d", m.Aborts(AbortConflict))
+	}
+	if m.Commits() != 5 {
+		t.Fatalf("Commits = %d", m.Commits())
+	}
+}
+
+func TestStringRendersShares(t *testing.T) {
+	m := NewMachine(1)
+	m.Cores[0].Cycles[RdBar] = 75
+	m.Cores[0].Cycles[App] = 25
+	s := m.String()
+	if !strings.Contains(s, "rdbar 75.0%") || !strings.Contains(s, "app 25.0%") {
+		t.Fatalf("unexpected rendering: %q", s)
+	}
+}

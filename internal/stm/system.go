@@ -1,0 +1,83 @@
+package stm
+
+import (
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/tm"
+)
+
+// System is a software TM instantiated on a machine. The zero Accel
+// factory gives the base STM of §4; package core supplies the HASTM
+// factory.
+type System struct {
+	name    string
+	machine *sim.Machine
+	cfg     tm.Config
+	table   *RecordTable
+	accel   func(*Thread) Accel
+}
+
+var _ tm.System = (*System)(nil)
+
+// New creates the base STM on machine.
+func New(machine *sim.Machine, cfg tm.Config) *System {
+	return NewWithAccel("stm", machine, cfg, nil)
+}
+
+// NewWithAccel creates a software TM whose threads are accelerated by the
+// Accel returned by factory (nil factory = base STM). This is the seam the
+// HASTM implementation plugs into.
+func NewWithAccel(name string, machine *sim.Machine, cfg tm.Config, factory func(*Thread) Accel) *System {
+	return NewWithTable(name, machine, cfg, factory, NewRecordTable(machine.Mem))
+}
+
+// NewWithTable is NewWithAccel with an externally owned record table, so a
+// hybrid scheme's hardware path and its software fallback can detect
+// conflicts against the same records.
+func NewWithTable(name string, machine *sim.Machine, cfg tm.Config, factory func(*Thread) Accel, table *RecordTable) *System {
+	return &System{
+		name:    name,
+		machine: machine,
+		cfg:     cfg,
+		table:   table,
+		accel:   factory,
+	}
+}
+
+// Name identifies the scheme.
+func (s *System) Name() string { return s.name }
+
+// Table returns the global transaction-record table.
+func (s *System) Table() *RecordTable { return s.table }
+
+// Machine returns the machine this system runs on.
+func (s *System) Machine() *sim.Machine { return s.machine }
+
+// Thread binds the STM to one core. The descriptor, TLS slot and the
+// read/write/undo logs are allocated in simulated memory so that logging
+// has real cache cost — log stores can evict marked lines, one of the
+// effects HASTM's aggressive mode removes.
+func (s *System) Thread(ctx *sim.Ctx) tm.Thread {
+	t := &Thread{
+		sys:      s,
+		ctx:      ctx,
+		writeVer: make(map[uint64]uint64, 64),
+		backoff:  tm.NewBackoff(ctx.ID()),
+	}
+	// The allocator is shared machine state: reserve the thread's
+	// descriptor and logs inside one architectural step so concurrent
+	// thread creation stays deterministic and race-free.
+	ctx.Step(func(m *sim.Machine) uint64 {
+		t.desc = m.Mem.Alloc(descSize, mem.LineSize)
+		t.tls = m.Mem.Alloc(mem.LineSize, mem.LineSize)
+		t.rdLog = m.Mem.Alloc(logCap*entryBytes, mem.LineSize)
+		t.wrLog = m.Mem.Alloc(logCap*entryBytes, mem.LineSize)
+		t.undoLog = m.Mem.Alloc(logCap*entryBytes, mem.LineSize)
+		m.Mem.Store(t.tls, t.desc)
+		return 16
+	})
+	if s.accel != nil {
+		t.accel = s.accel(t)
+	}
+	return t
+}

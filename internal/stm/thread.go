@@ -1,0 +1,789 @@
+package stm
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/tm"
+)
+
+// Descriptor layout (simulated memory). The descriptor address is always
+// word-aligned, hence even, which is what distinguishes an owner pointer
+// from an odd version number in a transaction record.
+const (
+	descRdLog   = 0  // read-set log pointer
+	descWrLog   = 8  // write-set log pointer
+	descUndoLog = 16 // undo log pointer
+	descMode    = 24 // mode word (aggressive flag, used by HASTM)
+	descSize    = 64 // one cache line, avoids false sharing
+)
+
+// logCap is the capacity of each per-thread log in entries. Each entry is
+// two words (16 bytes).
+const logCap = 1 << 15
+
+const entryBytes = 16
+
+// RecEntry is one read- or write-set entry: a transaction-record address
+// and the version it held when logged.
+type RecEntry struct {
+	Rec uint64
+	Ver uint64
+}
+
+// UndoEntry records a data word's old value for rollback.
+type UndoEntry struct {
+	Addr uint64
+	Old  uint64
+}
+
+type savepoint struct {
+	nReads, nWrites, nUndo int
+}
+
+// Control-flow signals thrown through the user body with panic and caught
+// by the engine.
+type abortSignal struct{ cause stats.AbortCause }
+type retrySignal struct{}
+type userAbortSignal struct{}
+
+// Thread is one core's software-transactional thread. It implements both
+// tm.Thread and tm.Txn.
+type Thread struct {
+	sys   *System
+	ctx   *sim.Ctx
+	accel Accel
+
+	desc    uint64 // descriptor in simulated memory
+	tls     uint64 // simulated TLS slot holding the descriptor pointer
+	rdLog   uint64 // log array base addresses in simulated memory
+	wrLog   uint64
+	undoLog uint64
+
+	// Go-side mirrors of the simulated logs (identical contents; the
+	// simulated stores above charge the real cache/cycle costs).
+	reads  []RecEntry
+	writes []RecEntry
+	undo   []UndoEntry
+
+	writeVer map[uint64]uint64 // rec -> version at acquire, for validation
+	watch    []RecEntry        // retry wait-set accumulated across rollbacks
+
+	saves []savepoint
+
+	backoff            *tm.Backoff
+	readsSinceValidate int
+	attempt            int
+	inTxn              bool
+}
+
+var (
+	_ tm.Thread = (*Thread)(nil)
+	_ tm.Txn    = (*Thread)(nil)
+)
+
+// Ctx returns the core context this thread runs on.
+func (t *Thread) Ctx() *sim.Ctx { return t.ctx }
+
+// Stats returns the per-core statistics record.
+func (t *Thread) Stats() *stats.Core {
+	return &t.ctx.Machine().Stats.Cores[t.ctx.ID()]
+}
+
+// Config returns the TM configuration.
+func (t *Thread) Config() tm.Config { return t.sys.cfg }
+
+// Attempt returns the current attempt number (0 = first execution).
+func (t *Thread) Attempt() int { return t.attempt }
+
+// Desc returns the simulated address of the transaction descriptor.
+func (t *Thread) Desc() uint64 { return t.desc }
+
+// ModeAddr returns the simulated address of the descriptor's mode word,
+// which the HASTM barriers test ("test [txndesc + mode], #aggressive").
+func (t *Thread) ModeAddr() uint64 { return t.desc + descMode }
+
+func (t *Thread) requireTxn() {
+	if !t.inTxn {
+		panic("stm: transactional access outside an atomic block")
+	}
+}
+
+// --- Atomic engine ---------------------------------------------------------
+
+// Atomic runs body as a transaction. At top level it retries conflict
+// aborts until commit; inside a transaction it is a closed-nested
+// transaction with partial rollback.
+func (t *Thread) Atomic(body func(tm.Txn) error) error {
+	if t.inTxn {
+		return t.nestedAtomic(body)
+	}
+	t.attempt = 0
+	t.watch = t.watch[:0]
+	for {
+		t.begin()
+		err, sig := t.runBody(body)
+		switch s := sig.(type) {
+		case nil:
+			if err != nil {
+				// Body failure: roll back and surface the error.
+				t.rollbackAll()
+				t.finish(false)
+				return err
+			}
+			committed, cause := t.commitTxn()
+			if committed {
+				t.finish(true)
+				return nil
+			}
+			t.afterAbort(cause)
+		case userAbortSignal:
+			t.rollbackAll()
+			t.Stats().Aborts[stats.AbortExplicit]++
+			t.finish(false)
+			return tm.ErrUserAbort
+		case retrySignal:
+			t.ctx.TraceEvent("retry", fmt.Sprintf("watching %d records", len(t.watch)+len(t.reads)))
+			t.watchReadsFrom(0)
+			t.rollbackAll()
+			t.Stats().Retries++
+			if t.accel != nil {
+				t.accel.End(t, false)
+			}
+			t.inTxn = false
+			t.waitForChange()
+			t.attempt++
+		case abortSignal:
+			t.afterAbort(s.cause)
+		}
+	}
+}
+
+// finish closes out a transaction after commit or a terminal abort.
+func (t *Thread) finish(committed bool) {
+	if t.accel != nil {
+		t.accel.End(t, committed)
+	}
+	if committed {
+		t.backoff.Reset()
+	}
+	t.inTxn = false
+}
+
+// afterAbort rolls back and prepares the next attempt.
+func (t *Thread) afterAbort(cause stats.AbortCause) {
+	t.ctx.TraceEvent("abort", cause.String())
+	t.rollbackAll()
+	t.Stats().Aborts[cause]++
+	if t.accel != nil {
+		t.accel.End(t, false)
+	}
+	t.inTxn = false
+	t.attempt++
+	if cause == stats.AbortConflict {
+		t.backoff.Wait(t.ctx)
+	}
+}
+
+// runBody executes the user body, converting engine panics into signals.
+// A foreign panic is re-raised unless the read set no longer validates, in
+// which case the body was a zombie executing on inconsistent data and the
+// panic is converted into a conflict abort.
+func (t *Thread) runBody(body func(tm.Txn) error) (err error, sig interface{}) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch r.(type) {
+		case abortSignal, retrySignal, userAbortSignal:
+			sig = r
+		default:
+			if !t.readsConsistent() {
+				sig = abortSignal{stats.AbortConflict}
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = body(t)
+	return err, nil
+}
+
+// readsConsistent re-checks the read set directly against memory at zero
+// simulated cost; used only to classify foreign panics as zombie effects.
+func (t *Thread) readsConsistent() bool {
+	m := t.ctx.Machine().Mem
+	for _, e := range t.reads {
+		cur := m.Load(e.Rec)
+		if cur != e.Ver && !(cur == t.desc && t.writeVer[e.Rec] == e.Ver) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Thread) begin() {
+	t.inTxn = true
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.undo = t.undo[:0]
+	t.saves = t.saves[:0]
+	t.readsSinceValidate = 0
+	clear(t.writeVer)
+
+	ctx := t.ctx
+	ctx.TraceEvent("begin", fmt.Sprintf("attempt=%d", t.attempt))
+	// The inlined barriers keep the descriptor in a register (Fig 4), so
+	// TLS is charged once per transaction, at begin.
+	prev := ctx.SetCat(stats.TLS)
+	ctx.Load(t.tls) // gettxndesc
+	ctx.SetCat(stats.Commit)
+	ctx.Exec(4) // descriptor setup
+	ctx.Store(t.desc+descRdLog, t.rdLog)
+	ctx.Store(t.desc+descWrLog, t.wrLog)
+	ctx.Store(t.desc+descUndoLog, t.undoLog)
+	ctx.SetCat(prev)
+
+	if t.accel != nil {
+		t.accel.Begin(t, t.attempt)
+	}
+}
+
+func (t *Thread) commitTxn() (bool, stats.AbortCause) {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Validate)
+	ok, cause := t.validate(true)
+	ctx.SetCat(stats.Commit)
+	if ok {
+		t.releaseWrites()
+		ctx.Exec(8) // commit bookkeeping
+		t.Stats().Commits++
+		ctx.TraceEvent("commit", fmt.Sprintf("reads=%d writes=%d", len(t.reads), len(t.writes)))
+	}
+	ctx.SetCat(prev)
+	return ok, cause
+}
+
+// validate checks the read set. With acceleration, the mark counter can
+// prove the read set intact without touching it (Fig 6). On failure the
+// returned cause distinguishes a real conflict from an aggressive-mode
+// transaction that merely lost the ability to validate (no read set to
+// fall back on).
+func (t *Thread) validate(atCommit bool) (bool, stats.AbortCause) {
+	if t.accel != nil {
+		skipFull, ok := t.accel.PreValidate(t, atCommit)
+		if !ok {
+			return false, stats.AbortAggressive
+		}
+		if skipFull {
+			t.Stats().FastValidations++
+			t.ctx.TraceEvent("validate", "fast (mark counter zero)")
+			return true, 0
+		}
+	}
+	t.Stats().FullValidations++
+	t.ctx.TraceEvent("validate", fmt.Sprintf("full (%d reads)", len(t.reads)))
+	ctx := t.ctx
+	ctx.Exec(2) // loop setup
+	for _, e := range t.reads {
+		cur := ctx.Load(e.Rec)
+		ctx.Exec(2) // compare + branch
+		if cur == e.Ver {
+			continue
+		}
+		if cur == t.desc {
+			ctx.Exec(2)
+			if t.writeVer[e.Rec] == e.Ver {
+				continue // we own it and acquired it at the version we read
+			}
+		}
+		return false, stats.AbortConflict
+	}
+	return true, 0
+}
+
+// periodicValidate bounds zombie execution: every ValidateEvery read
+// barriers the read set is re-validated; a failure aborts immediately.
+func (t *Thread) periodicValidate() {
+	every := t.sys.cfg.ValidateEvery
+	if every <= 0 {
+		return
+	}
+	t.readsSinceValidate++
+	if t.readsSinceValidate < every {
+		return
+	}
+	t.readsSinceValidate = 0
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Validate)
+	ok, cause := t.validate(false)
+	ctx.SetCat(prev)
+	if !ok {
+		panic(abortSignal{cause})
+	}
+}
+
+func (t *Thread) releaseWrites() {
+	ctx := t.ctx
+	for _, w := range t.writes {
+		ctx.Store(w.Rec, NextVersion(w.Ver))
+		ctx.Exec(2)
+	}
+}
+
+// rollbackAll undoes every effect of the current attempt.
+func (t *Thread) rollbackAll() {
+	t.rollbackTo(savepoint{})
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Commit)
+	ctx.Exec(8) // abort bookkeeping
+	ctx.SetCat(prev)
+}
+
+// rollbackTo reverts data and ownership to a savepoint (partial rollback
+// for nested transactions, full rollback for sp == zero).
+func (t *Thread) rollbackTo(sp savepoint) {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Commit)
+
+	// Restore data from the undo log, newest first.
+	for i := len(t.undo) - 1; i >= sp.nUndo; i-- {
+		e := t.undo[i]
+		ctx.Load(t.undoLog + uint64(i)*entryBytes)     // entry addr word
+		ctx.Load(t.undoLog + uint64(i)*entryBytes + 8) // entry value word
+		ctx.Store(e.Addr, e.Old)
+		ctx.Exec(2)
+	}
+	t.undo = t.undo[:sp.nUndo]
+
+	// Release records acquired since the savepoint.
+	for i := len(t.writes) - 1; i >= sp.nWrites; i-- {
+		w := t.writes[i]
+		ctx.Store(w.Rec, NextVersion(w.Ver))
+		ctx.Exec(2)
+		delete(t.writeVer, w.Rec)
+	}
+	t.writes = t.writes[:sp.nWrites]
+
+	t.reads = t.reads[:sp.nReads]
+	if t.accel != nil {
+		t.accel.OnPartialRollback(t)
+	}
+	ctx.SetCat(prev)
+}
+
+// watchReadsFrom appends read-set entries at index >= n to the retry watch
+// set.
+func (t *Thread) watchReadsFrom(n int) {
+	t.watch = append(t.watch, t.reads[n:]...)
+}
+
+// waitForChange blocks (in simulated time) until some watched record's
+// version changes. An empty watch set, or a long wait, returns anyway — a
+// spurious wakeup, which retry semantics permit.
+func (t *Thread) waitForChange() {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Validate)
+	defer ctx.SetCat(prev)
+	if len(t.watch) == 0 {
+		t.backoff.Wait(ctx)
+		return
+	}
+	for poll := 0; poll < 1000; poll++ {
+		for _, e := range t.watch {
+			cur := ctx.Load(e.Rec)
+			ctx.Exec(2)
+			if cur != e.Ver {
+				return
+			}
+		}
+		t.backoff.Wait(ctx)
+	}
+}
+
+// --- Nesting, retry, orElse ------------------------------------------------
+
+func (t *Thread) nestedAtomic(body func(tm.Txn) error) error {
+	sp := savepoint{len(t.reads), len(t.writes), len(t.undo)}
+	t.saves = append(t.saves, sp)
+	t.ctx.Exec(4) // nested begin
+	err, sig := t.runBody(body)
+	t.saves = t.saves[:len(t.saves)-1]
+	switch sig.(type) {
+	case nil:
+		if err != nil {
+			// Partial rollback: only the nested transaction's effects.
+			t.rollbackTo(sp)
+			return err
+		}
+		t.ctx.Exec(2) // nested commit merges into the parent
+		return nil
+	case retrySignal:
+		// Roll back progressively and propagate; the watch set keeps the
+		// nested reads so the waiter observes them.
+		t.watchReadsFrom(sp.nReads)
+		t.rollbackTo(sp)
+		panic(retrySignal{})
+	default:
+		panic(sig) // conflict/user aborts unwind the whole transaction
+	}
+}
+
+// OrElse implements composable blocking (§2, [11]): alternatives run as
+// nested transactions; one that calls Retry is rolled back and the next is
+// tried; if all retry, the retry propagates with the union of their read
+// sets as the wait set.
+func (t *Thread) OrElse(alternatives ...func(tm.Txn) error) error {
+	if !t.inTxn {
+		return t.Atomic(func(tx tm.Txn) error { return tx.OrElse(alternatives...) })
+	}
+	for _, alt := range alternatives {
+		sp := savepoint{len(t.reads), len(t.writes), len(t.undo)}
+		t.saves = append(t.saves, sp)
+		t.ctx.Exec(4)
+		err, sig := t.runBody(alt)
+		t.saves = t.saves[:len(t.saves)-1]
+		switch sig.(type) {
+		case nil:
+			if err != nil {
+				t.rollbackTo(sp)
+				return err
+			}
+			t.ctx.Exec(2)
+			return nil
+		case retrySignal:
+			t.watchReadsFrom(sp.nReads)
+			t.rollbackTo(sp)
+			continue
+		default:
+			panic(sig)
+		}
+	}
+	panic(retrySignal{})
+}
+
+// Exec charges application compute to the simulated clock (attributed to
+// the App category, since the body runs at that category).
+func (t *Thread) Exec(n uint64) { t.ctx.Exec(n) }
+
+// Alloc reserves memory for a new object; aborts leak it (GC semantics).
+func (t *Thread) Alloc(size, align uint64) uint64 { return t.ctx.Alloc(size, align) }
+
+// StoreInit initialises not-yet-published memory without barriers.
+func (t *Thread) StoreInit(addr, val uint64) { t.ctx.Store(addr, val) }
+
+// Retry aborts the innermost alternative and blocks re-execution until a
+// previously read location may have changed.
+func (t *Thread) Retry() {
+	t.requireTxn()
+	panic(retrySignal{})
+}
+
+// Abort abandons the transaction; the enclosing Atomic returns
+// tm.ErrUserAbort.
+func (t *Thread) Abort() {
+	t.requireTxn()
+	panic(userAbortSignal{})
+}
+
+// AbortConflictForTest forces a conflict-style abort (used by failure
+// injection in tests).
+func (t *Thread) AbortConflictForTest() {
+	t.requireTxn()
+	panic(abortSignal{stats.AbortConflict})
+}
+
+// --- Introspection / suspension ---------------------------------------------
+
+// GCPause models §5's language-environment integration: the transaction is
+// suspended, a collector or tool inspects (and may patch) its logs and even
+// transactionally written objects, and the transaction resumes WITHOUT
+// aborting. The hardware cost is a ring transition: all mark bits are
+// discarded and the mark counter bumps, so the transaction merely falls
+// back to full software validation at commit.
+func (t *Thread) GCPause(inspect func(reads, writes []RecEntry, undo []UndoEntry)) {
+	t.requireTxn()
+	if inspect != nil {
+		inspect(t.reads, t.writes, t.undo)
+	}
+	t.ctx.RingTransition()
+}
+
+// ReadSetSize returns the current number of read-set entries.
+func (t *Thread) ReadSetSize() int { return len(t.reads) }
+
+// WriteSetSize returns the current number of write-set entries.
+func (t *Thread) WriteSetSize() int { return len(t.writes) }
+
+// UndoLogSize returns the current number of undo entries.
+func (t *Thread) UndoLogSize() int { return len(t.undo) }
+
+// --- Barriers ---------------------------------------------------------------
+
+// chargeAddrCompute charges the record-address computation
+// (mov/and/add, Fig 7) to the given category.
+func (t *Thread) chargeAddrCompute(cat stats.Category) {
+	prev := t.ctx.SetCat(cat)
+	t.ctx.Exec(3)
+	t.ctx.SetCat(prev)
+}
+
+func (t *Thread) appLoad(addr uint64) uint64 {
+	prev := t.ctx.SetCat(stats.App)
+	v := t.ctx.Load(addr)
+	t.ctx.SetCat(prev)
+	return v
+}
+
+// Load transactionally reads the word at addr using the global record
+// table (cache-line-granularity conflict detection).
+func (t *Thread) Load(addr uint64) uint64 {
+	t.requireTxn()
+	if t.accel != nil && t.sys.cfg.Granularity == tm.LineGranularity {
+		if v, ok := t.accel.FilterData(t, addr); ok {
+			t.Stats().FilteredReads++
+			return v
+		}
+	}
+	t.chargeAddrCompute(stats.RdBar)
+	rec := t.sys.table.RecordFor(addr)
+	t.recordReadBarrier(rec)
+	if t.accel != nil && t.sys.cfg.Granularity == tm.LineGranularity {
+		// Trailing loadsetmark_granularity64 both marks the data line and
+		// performs the data load (Fig 7).
+		return t.accel.MarkData(t, addr)
+	}
+	return t.appLoad(addr)
+}
+
+// LoadObj transactionally reads the field at offset off of the object
+// whose header record is at base. Under object granularity the header is
+// the transaction record (managed-environment style); under line
+// granularity it degenerates to a plain transactional load of base+off.
+func (t *Thread) LoadObj(base, off uint64) uint64 {
+	t.requireTxn()
+	if t.sys.cfg.Granularity != tm.ObjectGranularity {
+		return t.Load(base + off)
+	}
+	if off < 8 {
+		panic(fmt.Sprintf("stm: LoadObj offset %d overlaps the header", off))
+	}
+	t.recordReadBarrier(base)
+	return t.appLoad(base + off)
+}
+
+// recordReadBarrier is stmRdBar (Fig 3/4) with the HASTM fast paths
+// (Fig 5/8) plugged in via the accel hooks.
+func (t *Thread) recordReadBarrier(rec uint64) {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.RdBar)
+	defer ctx.SetCat(prev)
+
+	var v uint64
+	if t.accel != nil {
+		// Object granularity filters on the record (Fig 5/8); line
+		// granularity does so only under the §5 two-level option ("the
+		// read barrier slow path checks whether the transaction record is
+		// marked before executing the rest of the slow path") — the hook
+		// knows which applies.
+		if t.accel.FilterRecord(t, rec) {
+			ctx.Exec(1) // jnae done
+			t.Stats().FilteredReads++
+			return
+		}
+		v = t.accel.LoadRecordForRead(t, rec)
+		ctx.Exec(2) // test versionmask + jz
+	} else {
+		v = ctx.Load(rec)
+		ctx.Exec(2) // cmp txndesc + jeq
+		if v == t.desc {
+			return
+		}
+		ctx.Exec(2) // test versionmask + jz
+	}
+
+	if !IsVersion(v) {
+		if v == t.desc {
+			return // recursion: we already own it exclusively
+		}
+		v = t.handleContention(rec)
+	}
+
+	t.Stats().UnfilteredReads++
+	if t.accel == nil || t.accel.ShouldLogRead(t) {
+		t.logRead(rec, v)
+	} else {
+		t.Stats().ReadLogsSkipped++
+	}
+	t.periodicValidate()
+}
+
+func (t *Thread) logRead(rec, ver uint64) {
+	if len(t.reads) >= logCap {
+		panic("stm: read-set log overflow; raise logCap or shorten the transaction")
+	}
+	ctx := t.ctx
+	logPtr := ctx.Load(t.desc + descRdLog)
+	ctx.Exec(3) // overflow test, branch, pointer add
+	ctx.Store(t.desc+descRdLog, logPtr+entryBytes)
+	ctx.Store(logPtr, rec)
+	ctx.Store(logPtr+8, ver)
+	t.reads = append(t.reads, RecEntry{rec, ver})
+	t.Stats().ReadsLogged++
+}
+
+// Store transactionally writes the word at addr (line-granularity record).
+func (t *Thread) Store(addr, val uint64) {
+	t.requireTxn()
+	t.chargeAddrCompute(stats.WrBar)
+	rec := t.sys.table.RecordFor(addr)
+	t.recordWriteBarrier(rec)
+	t.undoLogAndStore(addr, val)
+}
+
+// StoreObj transactionally writes a field of the object at base.
+func (t *Thread) StoreObj(base, off, val uint64) {
+	t.requireTxn()
+	if t.sys.cfg.Granularity != tm.ObjectGranularity {
+		t.Store(base+off, val)
+		return
+	}
+	if off < 8 {
+		panic(fmt.Sprintf("stm: StoreObj offset %d overlaps the header", off))
+	}
+	t.recordWriteBarrier(base)
+	t.undoLogAndStore(base+off, val)
+}
+
+// recordWriteBarrier is stmWrBar (Fig 3): acquire the record exclusively
+// with a CAS, logging the displaced version in the write set.
+func (t *Thread) recordWriteBarrier(rec uint64) {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.WrBar)
+	defer ctx.SetCat(prev)
+
+	if t.accel != nil && t.accel.FilterWriteOwned(t, rec) {
+		// Plane-1 mark intact: the record is still exclusively ours.
+		t.Stats().FilteredWrites++
+		return
+	}
+
+	v := ctx.Load(rec)
+	ctx.Exec(2)
+	if v == t.desc {
+		return
+	}
+	ctx.Exec(2)
+	if !IsVersion(v) {
+		v = t.handleContention(rec)
+	}
+	for {
+		ok, cur := ctx.CAS(rec, v, t.desc)
+		if ok {
+			break
+		}
+		ctx.Exec(1)
+		if IsVersion(cur) {
+			v = cur // raced with a release; retry at the new version
+			continue
+		}
+		v = t.handleContention(rec)
+	}
+	t.logWrite(rec, v)
+	if t.accel != nil {
+		t.accel.MarkRecordOnWrite(t, rec)
+		t.accel.MarkWriteOwned(t, rec)
+	}
+}
+
+func (t *Thread) logWrite(rec, ver uint64) {
+	if len(t.writes) >= logCap {
+		panic("stm: write-set log overflow; raise logCap or shorten the transaction")
+	}
+	ctx := t.ctx
+	logPtr := ctx.Load(t.desc + descWrLog)
+	ctx.Exec(3)
+	ctx.Store(t.desc+descWrLog, logPtr+entryBytes)
+	ctx.Store(logPtr, rec)
+	ctx.Store(logPtr+8, ver)
+	t.writes = append(t.writes, RecEntry{rec, ver})
+	t.writeVer[rec] = ver
+}
+
+// undoLogAndStore logs the old value of addr and performs the in-place
+// update (eager version management, §4). With the write-filtering
+// extension active, logging happens once per 16-byte sub-block (both
+// words captured) and plane-1 marks elide the duplicates.
+func (t *Thread) undoLogAndStore(addr, val uint64) {
+	if len(t.undo) >= logCap-1 {
+		panic("stm: undo log overflow; raise logCap or shorten the transaction")
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.WrBar)
+
+	if t.accel != nil && t.accel.UndoFilterEnabled() {
+		if t.accel.FilterUndo(t, addr) {
+			t.Stats().UndoLogsSkipped++
+		} else {
+			// First store to this sub-block: capture both of its words so
+			// later (filtered) stores to either are covered by replay.
+			sub := addr &^ 15
+			m := ctx.Machine().Mem
+			for off := uint64(0); off < 16; off += 8 {
+				w := sub + off
+				if !m.Allocated(w) {
+					continue // padding word outside any allocation
+				}
+				t.appendUndo(w, ctx.Load(w))
+			}
+			t.accel.MarkUndo(t, addr)
+		}
+	} else {
+		t.appendUndo(addr, ctx.Load(addr))
+	}
+
+	ctx.SetCat(stats.App)
+	ctx.Store(addr, val)
+	ctx.SetCat(prev)
+}
+
+// appendUndo writes one undo entry to the simulated log and the mirror.
+func (t *Thread) appendUndo(addr, old uint64) {
+	ctx := t.ctx
+	logPtr := ctx.Load(t.desc + descUndoLog)
+	ctx.Exec(3)
+	ctx.Store(t.desc+descUndoLog, logPtr+entryBytes)
+	ctx.Store(logPtr, addr)
+	ctx.Store(logPtr+8, old)
+	t.undo = append(t.undo, UndoEntry{addr, old})
+}
+
+// handleContention resolves an ownership conflict per the configured
+// policy, returning the record's version once it is shared again, or
+// aborting the transaction (by panic).
+func (t *Thread) handleContention(rec uint64) uint64 {
+	var limit int
+	switch t.sys.cfg.Policy {
+	case tm.AbortSelf:
+		limit = 0
+	case tm.PoliteBackoff:
+		limit = 16
+	case tm.Wait:
+		// Even "wait" must bound spinning in simulation: two waiters can
+		// own records the other needs. A long bound keeps the spirit.
+		limit = 256
+	}
+	ctx := t.ctx
+	wait := tm.NewBackoff(ctx.ID())
+	for spin := 0; spin < limit; spin++ {
+		wait.Wait(ctx)
+		v := ctx.Load(rec)
+		ctx.Exec(2)
+		if IsVersion(v) {
+			return v
+		}
+	}
+	panic(abortSignal{stats.AbortConflict})
+}

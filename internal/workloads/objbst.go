@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/stm"
+	"hastm.dev/hastm/internal/tm"
+)
+
+// ObjBST is the binary search tree laid out for OBJECT-granularity
+// conflict detection, the managed-environment style of §4: every node is a
+// transactional object whose header word is its transaction record, and
+// all field accesses go through LoadObj/StoreObj against that header.
+// Under an object-granularity TM, conflicts are per node — no false
+// sharing with neighbours, and the compiler-friendly barriers of Fig 5/8
+// apply. Under a line-granularity TM the same code degenerates to plain
+// transactional accesses, so the structure runs under every scheme.
+type ObjBST struct {
+	root     uint64 // an object whose first field holds the root pointer
+	keySpace uint64
+	initial  uint64
+}
+
+// Object field offsets (the header record occupies offset 0).
+const (
+	objKey   = 8
+	objVal   = 16
+	objLeft  = 24
+	objRight = 32
+	objSize  = 40 // header + 4 fields
+)
+
+// NewObjBST allocates a tree that Populate fills with `initial` keys.
+func NewObjBST(m *mem.Memory, initial uint64) *ObjBST {
+	return &ObjBST{
+		root:     stm.AllocObject(m, mem.LineSize-8), // root holder object, own line
+		keySpace: initial * 2,
+		initial:  initial,
+	}
+}
+
+// Name identifies the workload.
+func (b *ObjBST) Name() string { return "objbst" }
+
+// KeySpace returns the key universe size.
+func (b *ObjBST) KeySpace() uint64 { return b.keySpace }
+
+func (b *ObjBST) newNode(tx tm.Txn, key, val uint64) uint64 {
+	n := tx.Alloc(objSize, mem.LineSize) // one object per line
+	tx.StoreInit(n, stm.VersionInit)     // header record starts shared
+	tx.StoreInit(n+objKey, key)
+	tx.StoreInit(n+objVal, val)
+	return n
+}
+
+// rootPtr reads the root pointer (field 0 of the root holder).
+func (b *ObjBST) rootPtr(tx tm.Txn) uint64 { return tx.LoadObj(b.root, 8) }
+
+// Lookup returns the value stored for key.
+func (b *ObjBST) Lookup(tx tm.Txn, key uint64) (uint64, bool) {
+	cur := b.rootPtr(tx)
+	for steps := 0; cur != 0 && steps < maxTreeSteps; steps++ {
+		tx.Exec(visitCost)
+		k := tx.LoadObj(cur, objKey)
+		switch {
+		case key == k:
+			return tx.LoadObj(cur, objVal), true
+		case key < k:
+			cur = tx.LoadObj(cur, objLeft)
+		default:
+			cur = tx.LoadObj(cur, objRight)
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val, refreshing the value if present.
+func (b *ObjBST) Insert(tx tm.Txn, key, val uint64) bool {
+	parent := uint64(0)
+	parentOff := uint64(0)
+	cur := b.rootPtr(tx)
+	for steps := 0; cur != 0 && steps < maxTreeSteps; steps++ {
+		tx.Exec(visitCost)
+		k := tx.LoadObj(cur, objKey)
+		switch {
+		case key == k:
+			tx.StoreObj(cur, objVal, val)
+			return false
+		case key < k:
+			parent, parentOff = cur, objLeft
+			cur = tx.LoadObj(cur, objLeft)
+		default:
+			parent, parentOff = cur, objRight
+			cur = tx.LoadObj(cur, objRight)
+		}
+	}
+	n := b.newNode(tx, key, val)
+	if parent == 0 {
+		tx.StoreObj(b.root, 8, n)
+	} else {
+		tx.StoreObj(parent, parentOff, n)
+	}
+	return true
+}
+
+// Delete removes key with the standard splice.
+func (b *ObjBST) Delete(tx tm.Txn, key uint64) bool {
+	parent := uint64(0)
+	parentOff := uint64(0)
+	cur := b.rootPtr(tx)
+	steps := 0
+	for cur != 0 && steps < maxTreeSteps {
+		steps++
+		tx.Exec(visitCost)
+		k := tx.LoadObj(cur, objKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			parent, parentOff = cur, objLeft
+			cur = tx.LoadObj(cur, objLeft)
+		} else {
+			parent, parentOff = cur, objRight
+			cur = tx.LoadObj(cur, objRight)
+		}
+	}
+	if cur == 0 {
+		return false
+	}
+
+	left := tx.LoadObj(cur, objLeft)
+	right := tx.LoadObj(cur, objRight)
+	if left != 0 && right != 0 {
+		sParent, sOff := cur, uint64(objRight)
+		s := right
+		for steps = 0; steps < maxTreeSteps; steps++ {
+			l := tx.LoadObj(s, objLeft)
+			if l == 0 {
+				break
+			}
+			sParent, sOff = s, objLeft
+			s = l
+		}
+		tx.StoreObj(cur, objKey, tx.LoadObj(s, objKey))
+		tx.StoreObj(cur, objVal, tx.LoadObj(s, objVal))
+		tx.StoreObj(sParent, sOff, tx.LoadObj(s, objRight))
+		return true
+	}
+
+	child := left
+	if child == 0 {
+		child = right
+	}
+	if parent == 0 {
+		tx.StoreObj(b.root, 8, child)
+	} else {
+		tx.StoreObj(parent, parentOff, child)
+	}
+	return true
+}
+
+// Populate inserts the initial keys directly.
+func (b *ObjBST) Populate(m *mem.Memory, r *Rand) {
+	d := Direct{M: m}
+	inserted := uint64(0)
+	for inserted < b.initial {
+		if b.Insert(d, r.Intn(b.keySpace), r.Next()) {
+			inserted++
+		}
+	}
+}
+
+// Op performs one operation.
+func (b *ObjBST) Op(tx tm.Txn, r *Rand, update bool) error {
+	key := r.Intn(b.keySpace)
+	if !update {
+		b.Lookup(tx, key)
+		return nil
+	}
+	if r.Percent(50) {
+		b.Insert(tx, key, r.Next())
+		return nil
+	}
+	b.Delete(tx, key)
+	return nil
+}
