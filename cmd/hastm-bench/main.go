@@ -6,13 +6,22 @@
 //	hastm-bench -fig fig16    # one figure
 //	hastm-bench -quick        # reduced sizes (seconds instead of minutes)
 //	hastm-bench -ops 4096     # override the total operation count
+//	hastm-bench -j 8          # run independent experiment cells on 8 workers
+//	hastm-bench -json         # machine-readable report (schema hastm-bench/1)
+//	hastm-bench -progress     # per-cell progress on stderr
 //	hastm-bench -list         # list experiment ids
+//
+// Reports go to stdout, diagnostics (progress, timing) to stderr. Every
+// simulation cell runs on its own private simulated machine, so reports
+// are bit-identical for every -j value: parallelism changes only the host
+// wall-clock, never the science.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,13 +30,16 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "run a single figure (e.g. fig16); empty = all")
-		quick = flag.Bool("quick", false, "use reduced experiment sizes")
-		ops   = flag.Int("ops", 0, "override total data-structure operations per run")
-		seed  = flag.Uint64("seed", 1, "deterministic seed")
-		ext   = flag.Bool("ext", false, "also run the extension experiments (ext-*)")
-		csvF  = flag.Bool("csv", false, "emit CSV (long format) instead of text tables")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		fig      = flag.String("fig", "", "run a single figure (e.g. fig16); empty = all")
+		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
+		ops      = flag.Int("ops", 0, "override total data-structure operations per run")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		ext      = flag.Bool("ext", false, "also run the extension experiments (ext-*)")
+		csvF     = flag.Bool("csv", false, "emit CSV (long format) instead of text tables")
+		jsonF    = flag.Bool("json", false, "emit a JSON report with per-cell host timings")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for experiment cells (1 = serial)")
+		progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -63,17 +75,40 @@ func main() {
 		specs = []harness.Spec{s}
 	}
 
-	for _, s := range specs {
-		start := time.Now()
-		rep := s.Run(o)
-		if *csvF {
+	plans := make([]*harness.Plan, len(specs))
+	cellCount := 0
+	for i, s := range specs {
+		plans[i] = s.Plan(o)
+		cellCount += len(plans[i].Cells)
+	}
+
+	cfg := harness.ExecConfig{Workers: *workers}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	start := time.Now()
+	reports := harness.Execute(plans, cfg)
+	elapsed := time.Since(start)
+
+	switch {
+	case *jsonF:
+		doc := harness.NewBenchJSON(o, *workers, plans, reports, elapsed)
+		if err := doc.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+	case *csvF:
+		for _, rep := range reports {
 			if err := rep.RenderCSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "hastm-bench: csv: %v\n", err)
 				os.Exit(1)
 			}
-			continue
 		}
-		rep.Render(os.Stdout)
-		fmt.Printf("   [%s regenerated in %v]\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	default:
+		for _, rep := range reports {
+			rep.Render(os.Stdout)
+		}
 	}
+	fmt.Fprintf(os.Stderr, "hastm-bench: %d experiments, %d cells in %v (-j %d)\n",
+		len(specs), cellCount, elapsed.Round(time.Millisecond), *workers)
 }

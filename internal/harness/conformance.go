@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/workloads"
+)
+
+// FinalStateHash runs o.Ops retry-stable operations (workloads.
+// RunThreadStable) on the named scheme and workload, split across cores,
+// then fingerprints the structure's final contents. With one core the
+// operation sequence is identical for every scheme — aborts replay the
+// same operation — so every correct scheme must return the same hash: the
+// cross-scheme conformance property. With several cores the hash is still
+// deterministic per scheme (the simulator's interleaving is), but schemes
+// may legitimately differ because commit order differs.
+func FinalStateHash(scheme, workload string, cores int, o Options, updatePct int) (uint64, error) {
+	if err := validateConfig(scheme, workload, cores); err != nil {
+		return 0, err
+	}
+	machine := machineForISA(cores, o.DefaultISA)
+	sys := buildExtScheme(scheme, machine, cores)
+	ds := buildStructure(workload, machine.Mem, o)
+	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
+
+	per := o.Ops / cores
+	if per == 0 {
+		per = 1
+	}
+	progs := make([]sim.Program, cores)
+	for i := range progs {
+		progs[i] = func(c *sim.Ctx) {
+			cfg := workloads.DriverConfig{Ops: per, UpdatePercent: updatePct, Seed: o.Seed}
+			if err := workloads.RunThreadStable(sys.Thread(c), ds, cfg); err != nil {
+				panic(fmt.Sprintf("harness conformance: %s/%s: %v", scheme, workload, err))
+			}
+		}
+	}
+	machine.Run(progs...)
+	return workloads.Fingerprint(ds, workloads.Direct{M: machine.Mem}), nil
+}

@@ -1,0 +1,105 @@
+package harness
+
+import "testing"
+
+// Cross-scheme conformance: for a fixed seed and a single thread, every
+// scheme applies the identical retry-stable operation sequence, so every
+// scheme must leave identical final contents in each data structure. This
+// is the strongest end-to-end correctness check the harness has: a commit
+// that loses an update, an abort that leaks one, or a re-execution that
+// applies an op twice shows up as a fingerprint mismatch.
+func TestCrossSchemeConformance(t *testing.T) {
+	o := QuickOptions()
+	schemes := []string{SchemeSTM, SchemeHASTM, SchemeHyTM, SchemeHTM, SchemeLock}
+	for _, wl := range Workloads() {
+		ref, err := FinalStateHash(SchemeSeq, wl, 1, o, 20)
+		if err != nil {
+			t.Fatalf("%s/seq: %v", wl, err)
+		}
+		for _, scheme := range schemes {
+			got, err := FinalStateHash(scheme, wl, 1, o, 20)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wl, scheme, err)
+			}
+			if got != ref {
+				t.Errorf("%s: %s final contents %#x != seq %#x", wl, scheme, got, ref)
+			}
+		}
+	}
+}
+
+// The extension schemes must conform too: filtering and granularity are
+// performance mechanisms, never semantics.
+func TestExtensionSchemeConformance(t *testing.T) {
+	o := QuickOptions()
+	ref, err := FinalStateHash(SchemeSeq, WorkloadBST, 1, o, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{SchemeCautious, SchemeNoReuse, SchemeNaive, SchemeWFilter, SchemeInterAtomic, SchemeWatermark} {
+		got, err := FinalStateHash(scheme, WorkloadBST, 1, o, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if got != ref {
+			t.Errorf("bst: %s final contents %#x != seq %#x", scheme, got, ref)
+		}
+	}
+	// Object granularity on the object-layout BST.
+	objRef, err := FinalStateHash(SchemeSeq, WorkloadObjBST, 1, o, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{SchemeObjSTM, SchemeObjHASTM} {
+		got, err := FinalStateHash(scheme, WorkloadObjBST, 1, o, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if got != objRef {
+			t.Errorf("objbst: %s final contents %#x != seq %#x", scheme, got, objRef)
+		}
+	}
+}
+
+// Multi-core runs cannot promise scheme-identical contents (commit order
+// differs), but each scheme must be self-deterministic, and the default
+// ISA must not change what HASTM commits — only how fast.
+func TestConformanceDeterminismAndDefaultISA(t *testing.T) {
+	o := QuickOptions()
+	a, err := FinalStateHash(SchemeHASTM, WorkloadBTree, 4, o, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FinalStateHash(SchemeHASTM, WorkloadBTree, 4, o, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("hastm/btree/4 nondeterministic: %#x vs %#x", a, b)
+	}
+
+	full, err := FinalStateHash(SchemeHASTM, WorkloadBTree, 1, o, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oDef := o
+	oDef.DefaultISA = true
+	def, err := FinalStateHash(SchemeHASTM, WorkloadBTree, 1, oDef, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != def {
+		t.Errorf("default ISA changed HASTM's final contents: %#x vs %#x", def, full)
+	}
+
+	// Sanity: the fingerprint must actually depend on the workload history.
+	other := o
+	other.Seed = 99
+	diff, err := FinalStateHash(SchemeSeq, WorkloadBTree, 1, other, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff == full {
+		t.Error("fingerprint insensitive to seed — hash is not covering contents")
+	}
+}

@@ -25,11 +25,11 @@ const (
 // Extensions returns the extension-experiment registry.
 func Extensions() []Spec {
 	return []Spec{
-		{"ext-wfilter", "Write-barrier and undo-log filtering (§5 extension)", ExtWFilter},
-		{"ext-interatomic", "Inter-atomic redundancy elimination (Fig 10)", ExtInterAtomic},
-		{"ext-defaultisa", "Section 3.3 default ISA: correct but unaccelerated", ExtDefaultISA},
-		{"ext-granularity", "Object- vs cache-line-granularity conflict detection", ExtGranularity},
-		{"ext-smt", "SMT: four hardware threads on two shared L1s vs four full cores", ExtSMT},
+		{"ext-wfilter", "Write-barrier and undo-log filtering (§5 extension)", planExtWFilter},
+		{"ext-interatomic", "Inter-atomic redundancy elimination (Fig 10)", planExtInterAtomic},
+		{"ext-defaultisa", "Section 3.3 default ISA: correct but unaccelerated", planExtDefaultISA},
+		{"ext-granularity", "Object- vs cache-line-granularity conflict detection", planExtGranularity},
+		{"ext-smt", "SMT: four hardware threads on two shared L1s vs four full cores", planExtSMT},
 	}
 }
 
@@ -57,34 +57,42 @@ func buildExtScheme(name string, m *sim.Machine, threads int) tm.System {
 	}
 }
 
-// ExtWFilter measures the §5 write-filtering extension on write-heavy
+// planExtWFilter measures the §5 write-filtering extension on write-heavy
 // transactions with high store locality — the regime it targets.
-func ExtWFilter(o Options) *Report {
-	rep := &Report{
-		ID:    "ext-wfilter",
-		Title: "Write-barrier and undo-log filtering (plane-1 marks)",
-		Notes: "single thread; microbenchmark at 50% loads; relative to STM = 1.0. The extension pays only under extreme store locality — consistent with the paper concentrating on read filtering (§5).",
-	}
-	tbl := Table{Name: "write-heavy micro", ColHeader: "scheme \\ store reuse", Unit: "x of STM time"}
+func planExtWFilter(o Options) *Plan {
 	reuses := []int{40, 60, 80, 95}
+	var cols []string
 	for _, r := range reuses {
-		tbl.Cols = append(tbl.Cols, fmt.Sprintf("%d%%", r))
+		cols = append(cols, fmt.Sprintf("%d%%", r))
 	}
-	base := make(map[int]uint64)
+	p := newPlan("ext-wfilter")
+	var base []*Cell
 	for _, r := range reuses {
-		base[r] = runMicroExt(SchemeSTM, 50, 50, r, o).WallCycles
+		base = append(base, p.microExt(SchemeSTM, 50, 50, r, o))
 	}
+	var rows []cellRow
 	for _, scheme := range []string{SchemeHASTM, SchemeWFilter} {
-		row := Row{Name: scheme}
+		row := cellRow{name: scheme}
 		for _, r := range reuses {
-			m := runMicroExt(scheme, 50, 50, r, o)
-			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[r]))
+			row.cells = append(row.cells, p.microExt(scheme, 50, 50, r, o))
 		}
-		tbl.Rows = append(tbl.Rows, row)
+		rows = append(rows, row)
 	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-wfilter",
+			Title: "Write-barrier and undo-log filtering (plane-1 marks)",
+			Notes: "single thread; microbenchmark at 50% loads; relative to STM = 1.0. The extension pays only under extreme store locality — consistent with the paper concentrating on read filtering (§5).",
+		}
+		rep.Tables = append(rep.Tables, ratioTable("write-heavy micro", "scheme \\ store reuse", "x of STM time",
+			cols, rows, func(j int) uint64 { return base[j].WallCycles() }))
+		return rep
+	}
+	return p
 }
+
+// ExtWFilter regenerates the write-filtering ablation serially.
+func ExtWFilter(o Options) *Report { return runSerial(planExtWFilter(o)) }
 
 // runMicroExt is runMicro with an explicit store-reuse rate and access to
 // the extension schemes.
@@ -117,191 +125,280 @@ func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) R
 	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
 }
 
-// ExtInterAtomic measures Fig 10's cross-transaction redundancy
-// elimination: many small transactions over one small, stable working set
-// — the second atomic block's reads of the same lines take the fast path
-// when marks survive between blocks.
-func ExtInterAtomic(o Options) *Report {
-	rep := &Report{
-		ID:    "ext-interatomic",
-		Title: "Inter-atomic redundancy elimination (Fig 10)",
-		Notes: "single thread; short read-only transactions over a stable working set; relative to STM = 1.0",
-	}
-	run := func(scheme string, lines uint64) (uint64, uint64) {
-		machine := machineFor(1)
-		sys := buildExtScheme(scheme, machine, 1)
-		base := machine.Mem.Alloc(lines*64, 64)
-		var wall uint64
-		machine.Run(func(c *sim.Ctx) {
-			th := sys.Thread(c)
-			warm := func(n int) {
-				for t := 0; t < n; t++ {
-					if err := th.Atomic(func(tx tm.Txn) error {
-						for i := uint64(0); i < lines; i++ {
-							tx.Load(base + i*64)
-							tx.Exec(3)
-						}
-						return nil
-					}); err != nil {
-						panic(err)
+// runInterAtomic executes the Fig 10 kernel: many short read-only atomic
+// blocks over one small, stable working set. The machine's stats ride
+// along in the metrics so assembly can count cross-block filtered reads.
+func runInterAtomic(scheme string, lines uint64, o Options) RunMetrics {
+	machine := machineFor(1)
+	sys := buildExtScheme(scheme, machine, 1)
+	base := machine.Mem.Alloc(lines*64, 64)
+	var wall uint64
+	machine.Run(func(c *sim.Ctx) {
+		th := sys.Thread(c)
+		warm := func(n int) {
+			for t := 0; t < n; t++ {
+				if err := th.Atomic(func(tx tm.Txn) error {
+					for i := uint64(0); i < lines; i++ {
+						tx.Load(base + i*64)
+						tx.Exec(3)
 					}
-				}
-			}
-			warm(4)
-			start := c.Clock()
-			warm(o.MicroTxns * 4)
-			wall = c.Clock() - start
-		})
-		var filtered uint64
-		for i := range machine.Stats.Cores {
-			filtered += machine.Stats.Cores[i].FilteredReads
-		}
-		return wall, filtered
-	}
-	const lines = 16
-	baseWall, _ := run(SchemeSTM, lines)
-	tbl := Table{
-		Name:      "repeated 16-line read-only blocks",
-		ColHeader: "scheme",
-		Cols:      []string{"rel time", "filtered reads"},
-		Unit:      "x of STM / count",
-	}
-	for _, scheme := range []string{SchemeHASTM, SchemeInterAtomic} {
-		wall, filtered := run(scheme, lines)
-		tbl.Rows = append(tbl.Rows, Row{
-			Name:  scheme,
-			Cells: []float64{float64(wall) / float64(baseWall), float64(filtered)},
-		})
-	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
-}
-
-// ExtDefaultISA verifies the Section 3.3 deployment story quantitatively:
-// on a processor implementing only the default behaviour of the new
-// instructions, the HASTM binary runs correctly at essentially STM speed,
-// while the full implementation accelerates it.
-func ExtDefaultISA(o Options) *Report {
-	rep := &Report{
-		ID:    "ext-defaultisa",
-		Title: "Default ISA implementation (§3.3)",
-		Notes: "single thread, B-tree; relative to the same machine's STM = 1.0. The paper's unconditional single-thread aggressive policy re-executes every transaction on a default-ISA machine (the counter never stays zero); the adaptive watermark controller degrades gracefully to near-STM speed.",
-	}
-	run := func(defaultISA bool, scheme string) uint64 {
-		saved := o
-		o.DefaultISA = defaultISA
-		m := runStructure(scheme, WorkloadBTree, 1, o)
-		o = saved
-		return m.WallCycles
-	}
-	tbl := Table{Name: "btree", ColHeader: "scheme", Cols: []string{"full ISA", "default ISA"}, Unit: "x of STM time"}
-	stmFull := run(false, SchemeSTM)
-	stmDef := run(true, SchemeSTM)
-	for _, scheme := range []string{SchemeSTM, SchemeHASTM, SchemeWatermark} {
-		tbl.Rows = append(tbl.Rows, Row{
-			Name: scheme,
-			Cells: []float64{
-				float64(run(false, scheme)) / float64(stmFull),
-				float64(run(true, scheme)) / float64(stmDef),
-			},
-		})
-	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
-}
-
-// ExtGranularity compares conflict-detection granularities on the BST:
-// object-granularity (per-node records in headers, Fig 5 barriers) vs the
-// global line-granularity table (Fig 7 barriers).
-func ExtGranularity(o Options) *Report {
-	rep := &Report{
-		ID:    "ext-granularity",
-		Title: "Object vs cache-line conflict detection granularity",
-		Notes: "BST; relative to 1-core sequential = 1.0",
-	}
-	runObj := func(scheme string, cores int) uint64 {
-		return runStructure(scheme, WorkloadObjBST, cores, o).WallCycles
-	}
-	seq := runObj(SchemeSeq, 1)
-	tbl := Table{Name: "bst", ColHeader: "scheme", Cols: []string{"1 core", "4 cores"}, Unit: "x of sequential"}
-	for _, s := range []struct{ name, scheme string }{
-		{"hastm/object", SchemeObjHASTM},
-		{"hastm/line", SchemeHASTM},
-		{"stm/object", SchemeObjSTM},
-		{"stm/line", SchemeSTM},
-	} {
-		tbl.Rows = append(tbl.Rows, Row{
-			Name: s.name,
-			Cells: []float64{
-				float64(runObj(s.scheme, 1)) / float64(seq),
-				float64(runObj(s.scheme, 4)) / float64(seq),
-			},
-		})
-	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
-}
-
-// ExtSMT measures §3.1's SMT provision: each hardware thread keeps private
-// mark bits in the shared L1, and a sibling's stores invalidate them. Four
-// hardware threads run the B-tree either as four full cores or as two
-// cores with two SMT threads each — the SMT pair loses marks to sibling
-// stores and L1 sharing, eroding (but not breaking) the acceleration.
-func ExtSMT(o Options) *Report {
-	rep := &Report{
-		ID:    "ext-smt",
-		Title: "SMT sharing: 2 cores x 2 threads vs 4 cores",
-		Notes: "B-tree, four hardware threads, fixed total work; relative to the 4-core lock run",
-	}
-	run := func(scheme string, smt bool) (uint64, float64) {
-		cfg := sim.DefaultConfig(4)
-		cfg.L2 = cacheConfig256K()
-		cfg.Prefetch = true
-		cfg.SpecRFOEvery = 32
-		if smt {
-			cfg.ThreadsPerCore = 2
-		}
-		machine := sim.New(cfg)
-		sys := buildExtScheme(scheme, machine, 4)
-		ds := buildStructure(WorkloadBTree, machine.Mem, o)
-		ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
-		per := o.Ops / 4
-		progs := make([]sim.Program, 4)
-		for i := range progs {
-			progs[i] = func(c *sim.Ctx) {
-				cfg := workloads.DriverConfig{Ops: per, UpdatePercent: 20, Seed: o.Seed}
-				if err := workloads.RunThread(sys.Thread(c), ds, cfg); err != nil {
+					return nil
+				}); err != nil {
 					panic(err)
 				}
 			}
 		}
-		wall := machine.Run(progs...)
-		var fast, full uint64
-		for i := range machine.Stats.Cores {
-			fast += machine.Stats.Cores[i].FastValidations
-			full += machine.Stats.Cores[i].FullValidations
-		}
-		share := 0.0
-		if fast+full > 0 {
-			share = 100 * float64(fast) / float64(fast+full)
-		}
-		return wall, share
+		warm(4)
+		start := c.Clock()
+		warm(o.MicroTxns * 4)
+		wall = c.Clock() - start
+	})
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+}
+
+func filteredReads(m RunMetrics) uint64 {
+	var filtered uint64
+	for i := range m.Stats.Cores {
+		filtered += m.Stats.Cores[i].FilteredReads
 	}
-	base, _ := run(SchemeLock, false)
-	tbl := Table{
-		Name:      "btree, 4 hardware threads",
-		ColHeader: "scheme",
-		Cols:      []string{"4 cores", "2c x 2 SMT", "fast-val % 4c", "fast-val % SMT"},
-		Unit:      "x of 4-core lock time / percent",
-	}
-	for _, scheme := range []string{SchemeHASTM, SchemeSTM, SchemeLock} {
-		w4, s4 := run(scheme, false)
-		wS, sS := run(scheme, true)
-		tbl.Rows = append(tbl.Rows, Row{
-			Name:  scheme,
-			Cells: []float64{float64(w4) / float64(base), float64(wS) / float64(base), s4, sS},
+	return filtered
+}
+
+// planExtInterAtomic measures Fig 10's cross-transaction redundancy
+// elimination: the second atomic block's reads of the same lines take the
+// fast path when marks survive between blocks.
+func planExtInterAtomic(o Options) *Plan {
+	const lines = 16
+	p := newPlan("ext-interatomic")
+	ia := func(scheme string) *Cell {
+		return p.cell(fmt.Sprintf("interatomic/%s", scheme), func() RunMetrics {
+			return runInterAtomic(scheme, lines, o)
 		})
 	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
+	base := ia(SchemeSTM)
+	schemes := []string{SchemeHASTM, SchemeInterAtomic}
+	cells := make(map[string]*Cell)
+	for _, scheme := range schemes {
+		cells[scheme] = ia(scheme)
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-interatomic",
+			Title: "Inter-atomic redundancy elimination (Fig 10)",
+			Notes: "single thread; short read-only transactions over a stable working set; relative to STM = 1.0",
+		}
+		tbl := Table{
+			Name:      "repeated 16-line read-only blocks",
+			ColHeader: "scheme",
+			Cols:      []string{"rel time", "filtered reads"},
+			Unit:      "x of STM / count",
+		}
+		baseWall := base.WallCycles()
+		for _, scheme := range schemes {
+			m := cells[scheme].Metrics()
+			tbl.Rows = append(tbl.Rows, Row{
+				Name:  scheme,
+				Cells: []float64{float64(m.WallCycles) / float64(baseWall), float64(filteredReads(m))},
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep
+	}
+	return p
 }
+
+// ExtInterAtomic regenerates the Fig 10 quantification serially.
+func ExtInterAtomic(o Options) *Report { return runSerial(planExtInterAtomic(o)) }
+
+// planExtDefaultISA verifies the Section 3.3 deployment story
+// quantitatively: on a processor implementing only the default behaviour
+// of the new instructions, the HASTM binary runs correctly at essentially
+// STM speed, while the full implementation accelerates it.
+func planExtDefaultISA(o Options) *Plan {
+	p := newPlan("ext-defaultisa")
+	cell := func(defaultISA bool, scheme string) *Cell {
+		oc := o
+		oc.DefaultISA = defaultISA
+		isa := "full"
+		if defaultISA {
+			isa = "default"
+		}
+		return p.cell(fmt.Sprintf("%s/btree/1/%s-isa", scheme, isa), func() RunMetrics {
+			return runStructure(scheme, WorkloadBTree, 1, oc)
+		})
+	}
+	stmFull := cell(false, SchemeSTM)
+	stmDef := cell(true, SchemeSTM)
+	schemes := []string{SchemeSTM, SchemeHASTM, SchemeWatermark}
+	type pair struct{ full, def *Cell }
+	cells := make(map[string]pair)
+	for _, scheme := range schemes {
+		cells[scheme] = pair{full: cell(false, scheme), def: cell(true, scheme)}
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-defaultisa",
+			Title: "Default ISA implementation (§3.3)",
+			Notes: "single thread, B-tree; relative to the same machine's STM = 1.0. The paper's unconditional single-thread aggressive policy re-executes every transaction on a default-ISA machine (the counter never stays zero); the adaptive watermark controller degrades gracefully to near-STM speed.",
+		}
+		tbl := Table{Name: "btree", ColHeader: "scheme", Cols: []string{"full ISA", "default ISA"}, Unit: "x of STM time"}
+		for _, scheme := range schemes {
+			c := cells[scheme]
+			tbl.Rows = append(tbl.Rows, Row{
+				Name: scheme,
+				Cells: []float64{
+					float64(c.full.WallCycles()) / float64(stmFull.WallCycles()),
+					float64(c.def.WallCycles()) / float64(stmDef.WallCycles()),
+				},
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep
+	}
+	return p
+}
+
+// ExtDefaultISA regenerates the §3.3 quantification serially.
+func ExtDefaultISA(o Options) *Report { return runSerial(planExtDefaultISA(o)) }
+
+// planExtGranularity compares conflict-detection granularities on the BST:
+// object-granularity (per-node records in headers, Fig 5 barriers) vs the
+// global line-granularity table (Fig 7 barriers).
+func planExtGranularity(o Options) *Plan {
+	p := newPlan("ext-granularity")
+	seq := p.structure(SchemeSeq, WorkloadObjBST, 1, o)
+	rows := []struct {
+		name   string
+		scheme string
+		cores  [2]*Cell
+	}{
+		{name: "hastm/object", scheme: SchemeObjHASTM},
+		{name: "hastm/line", scheme: SchemeHASTM},
+		{name: "stm/object", scheme: SchemeObjSTM},
+		{name: "stm/line", scheme: SchemeSTM},
+	}
+	for i := range rows {
+		rows[i].cores[0] = p.structure(rows[i].scheme, WorkloadObjBST, 1, o)
+		rows[i].cores[1] = p.structure(rows[i].scheme, WorkloadObjBST, 4, o)
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-granularity",
+			Title: "Object vs cache-line conflict detection granularity",
+			Notes: "BST; relative to 1-core sequential = 1.0",
+		}
+		tbl := Table{Name: "bst", ColHeader: "scheme", Cols: []string{"1 core", "4 cores"}, Unit: "x of sequential"}
+		for _, r := range rows {
+			tbl.Rows = append(tbl.Rows, Row{
+				Name: r.name,
+				Cells: []float64{
+					float64(r.cores[0].WallCycles()) / float64(seq.WallCycles()),
+					float64(r.cores[1].WallCycles()) / float64(seq.WallCycles()),
+				},
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep
+	}
+	return p
+}
+
+// ExtGranularity regenerates the granularity comparison serially.
+func ExtGranularity(o Options) *Report { return runSerial(planExtGranularity(o)) }
+
+// runSMT executes the §3.1 provision: four hardware threads run the B-tree
+// either as four full cores or as two cores with two SMT threads each.
+func runSMT(scheme string, smt bool, o Options) RunMetrics {
+	cfg := sim.DefaultConfig(4)
+	cfg.L2 = cacheConfig256K()
+	cfg.Prefetch = true
+	cfg.SpecRFOEvery = 32
+	if smt {
+		cfg.ThreadsPerCore = 2
+	}
+	machine := sim.New(cfg)
+	sys := buildExtScheme(scheme, machine, 4)
+	ds := buildStructure(WorkloadBTree, machine.Mem, o)
+	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
+	per := o.Ops / 4
+	progs := make([]sim.Program, 4)
+	for i := range progs {
+		progs[i] = func(c *sim.Ctx) {
+			cfg := workloads.DriverConfig{Ops: per, UpdatePercent: 20, Seed: o.Seed}
+			if err := workloads.RunThread(sys.Thread(c), ds, cfg); err != nil {
+				panic(err)
+			}
+		}
+	}
+	wall := machine.Run(progs...)
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+}
+
+// fastValidationShare returns the percentage of validations answered by
+// the markCounter==0 fast path.
+func fastValidationShare(m RunMetrics) float64 {
+	var fast, full uint64
+	for i := range m.Stats.Cores {
+		fast += m.Stats.Cores[i].FastValidations
+		full += m.Stats.Cores[i].FullValidations
+	}
+	if fast+full == 0 {
+		return 0
+	}
+	return 100 * float64(fast) / float64(fast+full)
+}
+
+// planExtSMT measures §3.1's SMT provision: each hardware thread keeps
+// private mark bits in the shared L1, and a sibling's stores invalidate
+// them. The SMT pair loses marks to sibling stores and L1 sharing, eroding
+// (but not breaking) the acceleration.
+func planExtSMT(o Options) *Plan {
+	p := newPlan("ext-smt")
+	smtCell := func(scheme string, smt bool) *Cell {
+		label := fmt.Sprintf("smt/%s/4c", scheme)
+		if smt {
+			label = fmt.Sprintf("smt/%s/2c2t", scheme)
+		}
+		return p.cell(label, func() RunMetrics { return runSMT(scheme, smt, o) })
+	}
+	base := smtCell(SchemeLock, false)
+	schemes := []string{SchemeHASTM, SchemeSTM, SchemeLock}
+	type pair struct{ cores, smt *Cell }
+	cells := make(map[string]pair)
+	for _, scheme := range schemes {
+		cells[scheme] = pair{cores: smtCell(scheme, false), smt: smtCell(scheme, true)}
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-smt",
+			Title: "SMT sharing: 2 cores x 2 threads vs 4 cores",
+			Notes: "B-tree, four hardware threads, fixed total work; relative to the 4-core lock run",
+		}
+		tbl := Table{
+			Name:      "btree, 4 hardware threads",
+			ColHeader: "scheme",
+			Cols:      []string{"4 cores", "2c x 2 SMT", "fast-val % 4c", "fast-val % SMT"},
+			Unit:      "x of 4-core lock time / percent",
+		}
+		baseWall := base.WallCycles()
+		for _, scheme := range schemes {
+			c := cells[scheme]
+			m4, mS := c.cores.Metrics(), c.smt.Metrics()
+			tbl.Rows = append(tbl.Rows, Row{
+				Name: scheme,
+				Cells: []float64{
+					float64(m4.WallCycles) / float64(baseWall),
+					float64(mS.WallCycles) / float64(baseWall),
+					fastValidationShare(m4),
+					fastValidationShare(mS),
+				},
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep
+	}
+	return p
+}
+
+// ExtSMT regenerates the SMT provision measurement serially.
+func ExtSMT(o Options) *Report { return runSerial(planExtSMT(o)) }

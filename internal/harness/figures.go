@@ -8,27 +8,32 @@ import (
 	"hastm.dev/hastm/internal/workloads/traces"
 )
 
-// Spec registers one reproducible figure.
+// Spec registers one reproducible figure as an execution plan: a set of
+// independent simulation cells plus a pure assembly step (see pool.go).
 type Spec struct {
 	ID    string
 	Title string
-	Run   func(Options) *Report
+	Plan  func(Options) *Plan
 }
+
+// Run executes the spec's cells in declaration order on the calling
+// goroutine — the serial reference behaviour.
+func (s Spec) Run(o Options) *Report { return runSerial(s.Plan(o)) }
 
 // All returns the experiment registry in paper order.
 func All() []Spec {
 	return []Spec{
-		{"fig11", "STM vs lock scaling on TM workloads", Fig11},
-		{"fig12", "STM execution time breakdown", Fig12},
-		{"fig13", "Ratio of loads and cache reuse in workload critical sections", Fig13},
-		{"fig15", "TM performance comparison (microbenchmark sweep)", Fig15},
-		{"fig16", "Relative execution time for TM schemes (single thread)", Fig16},
-		{"fig17", "Performance breakdown for HASTM", Fig17},
-		{"fig18", "Multi-core scaling for BST", Fig18},
-		{"fig19", "Multi-core scaling for Btree", Fig19},
-		{"fig20", "Multi-core scaling for hash table", Fig20},
-		{"fig21", "BST scaling under different TM schemes", Fig21},
-		{"fig22", "Btree scaling under different TM schemes", Fig22},
+		{"fig11", "STM vs lock scaling on TM workloads", planFig11},
+		{"fig12", "STM execution time breakdown", planFig12},
+		{"fig13", "Ratio of loads and cache reuse in workload critical sections", planFig13},
+		{"fig15", "TM performance comparison (microbenchmark sweep)", planFig15},
+		{"fig16", "Relative execution time for TM schemes (single thread)", planFig16},
+		{"fig17", "Performance breakdown for HASTM", planFig17},
+		{"fig18", "Multi-core scaling for BST", planFig18},
+		{"fig19", "Multi-core scaling for Btree", planFig19},
+		{"fig20", "Multi-core scaling for hash table", planFig20},
+		{"fig21", "BST scaling under different TM schemes", planFig21},
+		{"fig22", "Btree scaling under different TM schemes", planFig22},
 	}
 }
 
@@ -47,92 +52,124 @@ func ByID(id string) (Spec, bool) {
 	return Spec{}, false
 }
 
-// Fig11 regenerates Figure 11: execution time of the STM and coarse-lock
+// planFig11 declares Figure 11: execution time of the STM and coarse-lock
 // versions of the three data structures, 1–16 processors, relative to the
 // single-thread lock time.
-func Fig11(o Options) *Report {
+func planFig11(o Options) *Plan {
 	cores := []int{1, 2, 4, 8, 16}
-	rep := &Report{
-		ID:    "fig11",
-		Title: "STM (vs lock) on TM workloads, IBM-x445-style 16-way run",
-		Notes: "execution time relative to single-thread lock time; total work fixed, split across processors",
+	var cols []string
+	for _, c := range cores {
+		cols = append(cols, fmt.Sprint(c))
 	}
+	p := newPlan("fig11")
+	type group struct {
+		wl   string
+		base *Cell
+		rows []cellRow
+	}
+	var groups []group
 	for _, wl := range Workloads() {
-		base := runStructure(SchemeLock, wl, 1, o).WallCycles
-		tbl := Table{Name: wl, ColHeader: "scheme \\ procs", Unit: "x of 1-proc lock time"}
-		for _, c := range cores {
-			tbl.Cols = append(tbl.Cols, fmt.Sprint(c))
-		}
+		g := group{wl: wl, base: p.structure(SchemeLock, wl, 1, o)}
 		for _, scheme := range []string{SchemeLock, SchemeSTM} {
-			row := Row{Name: scheme}
+			r := cellRow{name: scheme}
 			for _, c := range cores {
-				m := runStructure(scheme, wl, c, o)
-				row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base))
+				r.cells = append(r.cells, p.structure(scheme, wl, c, o))
+			}
+			g.rows = append(g.rows, r)
+		}
+		groups = append(groups, g)
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "fig11",
+			Title: "STM (vs lock) on TM workloads, IBM-x445-style 16-way run",
+			Notes: "execution time relative to single-thread lock time; total work fixed, split across processors",
+		}
+		for _, g := range groups {
+			base := g.base.WallCycles()
+			rep.Tables = append(rep.Tables, ratioTable(g.wl, "scheme \\ procs", "x of 1-proc lock time",
+				cols, g.rows, func(int) uint64 { return base }))
+		}
+		return rep
+	}
+	return p
+}
+
+// Fig11 regenerates Figure 11 serially.
+func Fig11(o Options) *Report { return runSerial(planFig11(o)) }
+
+// planFig12 declares Figure 12: where single-thread STM time goes.
+func planFig12(o Options) *Plan {
+	p := newPlan("fig12")
+	cells := make(map[string]*Cell)
+	for _, wl := range Workloads() {
+		cells[wl] = p.structure(SchemeSTM, wl, 1, o)
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "fig12",
+			Title: "STM execution time breakdown",
+			Notes: "percent of total cycles per category, single thread",
+		}
+		cats := []stats.Category{stats.App, stats.TLS, stats.RdBar, stats.WrBar, stats.Validate, stats.Commit}
+		tbl := Table{Name: "breakdown", ColHeader: "workload", Unit: "% of cycles"}
+		for _, c := range cats {
+			tbl.Cols = append(tbl.Cols, c.String())
+		}
+		for _, wl := range Workloads() {
+			m := cells[wl].Metrics()
+			total := float64(m.Stats.TotalCycles())
+			row := Row{Name: wl}
+			for _, c := range cats {
+				row.Cells = append(row.Cells, 100*float64(m.Stats.CategoryCycles(c))/total)
 			}
 			tbl.Rows = append(tbl.Rows, row)
 		}
 		rep.Tables = append(rep.Tables, tbl)
+		return rep
 	}
-	return rep
+	return p
 }
 
-// Fig12 regenerates Figure 12: where single-thread STM time goes.
-func Fig12(o Options) *Report {
-	rep := &Report{
-		ID:    "fig12",
-		Title: "STM execution time breakdown",
-		Notes: "percent of total cycles per category, single thread",
-	}
-	cats := []stats.Category{stats.App, stats.TLS, stats.RdBar, stats.WrBar, stats.Validate, stats.Commit}
-	tbl := Table{Name: "breakdown", ColHeader: "workload", Unit: "% of cycles"}
-	for _, c := range cats {
-		tbl.Cols = append(tbl.Cols, c.String())
-	}
-	for _, wl := range Workloads() {
-		m := runStructure(SchemeSTM, wl, 1, o)
-		total := float64(m.Stats.TotalCycles())
-		row := Row{Name: wl}
-		for _, c := range cats {
-			row.Cells = append(row.Cells, 100*float64(m.Stats.CategoryCycles(c))/total)
+// Fig12 regenerates Figure 12 serially.
+func Fig12(o Options) *Report { return runSerial(planFig12(o)) }
+
+// planFig13 declares Figure 13: the workload-analysis chart. The trace
+// analysis is not a machine simulation, so the plan has no cells and the
+// work happens at assembly time.
+func planFig13(o Options) *Plan {
+	p := newPlan("fig13")
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "fig13",
+			Title: "Ratio of loads and cache reuse (synthetic traces per the documented substitution)",
+			Notes: "measured from generated critical-section traces; reuse = prior same-kind access to the line in the same section",
 		}
-		tbl.Rows = append(tbl.Rows, row)
+		tbl := Table{
+			Name:      "workload analysis",
+			ColHeader: "workload",
+			Cols:      []string{"% loads", "load reuse %", "store reuse %"},
+			Unit:      "percent",
+		}
+		for _, r := range traces.AnalyzeAll(400, o.Seed) {
+			tbl.Rows = append(tbl.Rows, Row{
+				Name:  r.Name,
+				Cells: []float64{100 * r.LoadFraction, 100 * r.LoadReuse, 100 * r.StoreReuse},
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep
 	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
+	return p
 }
 
-// Fig13 regenerates Figure 13: the workload-analysis chart.
-func Fig13(o Options) *Report {
-	rep := &Report{
-		ID:    "fig13",
-		Title: "Ratio of loads and cache reuse (synthetic traces per the documented substitution)",
-		Notes: "measured from generated critical-section traces; reuse = prior same-kind access to the line in the same section",
-	}
-	tbl := Table{
-		Name:      "workload analysis",
-		ColHeader: "workload",
-		Cols:      []string{"% loads", "load reuse %", "store reuse %"},
-		Unit:      "percent",
-	}
-	for _, r := range traces.AnalyzeAll(400, o.Seed) {
-		tbl.Rows = append(tbl.Rows, Row{
-			Name:  r.Name,
-			Cells: []float64{100 * r.LoadFraction, 100 * r.LoadReuse, 100 * r.StoreReuse},
-		})
-	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
-}
+// Fig13 regenerates Figure 13 serially.
+func Fig13(o Options) *Report { return runSerial(planFig13(o)) }
 
-// Fig15 regenerates Figure 15: the microbenchmark sweep over load fraction
+// planFig15 declares Figure 15: the microbenchmark sweep over load fraction
 // (60–90%) and cache reuse (40–60%), for cautious HASTM, full HASTM and
 // best-case HyTM, normalised to the STM.
-func Fig15(o Options) *Report {
-	rep := &Report{
-		ID:    "fig15",
-		Title: "TM performance comparison",
-		Notes: "relative execution time, STM = 1.0; store reuse fixed at 40%",
-	}
+func planFig15(o Options) *Plan {
 	loadFracs := []int{60, 70, 80, 90}
 	reuses := []int{40, 50, 60}
 	schemes := []struct{ label, scheme string }{
@@ -140,145 +177,175 @@ func Fig15(o Options) *Report {
 		{"HASTM", SchemeHASTM},
 		{"Hybrid", SchemeHyTM},
 	}
+	var cols []string
+	for _, lf := range loadFracs {
+		cols = append(cols, fmt.Sprintf("%d%%", lf))
+	}
+	p := newPlan("fig15")
+	type group struct {
+		reuse int
+		base  []*Cell // one STM baseline per load fraction
+		rows  []cellRow
+	}
+	var groups []group
 	for _, reuse := range reuses {
-		tbl := Table{
-			Name:      fmt.Sprintf("%d%% cache reuse", reuse),
-			ColHeader: "scheme \\ load%",
-			Unit:      "x of STM time",
-		}
+		g := group{reuse: reuse}
 		for _, lf := range loadFracs {
-			tbl.Cols = append(tbl.Cols, fmt.Sprintf("%d%%", lf))
-		}
-		base := make(map[int]uint64)
-		for _, lf := range loadFracs {
-			base[lf] = runMicro(SchemeSTM, lf, reuse, o).WallCycles
+			g.base = append(g.base, p.micro(SchemeSTM, lf, reuse, o))
 		}
 		for _, s := range schemes {
-			row := Row{Name: s.label}
+			r := cellRow{name: s.label}
 			for _, lf := range loadFracs {
-				m := runMicro(s.scheme, lf, reuse, o)
-				row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[lf]))
+				r.cells = append(r.cells, p.micro(s.scheme, lf, reuse, o))
 			}
-			tbl.Rows = append(tbl.Rows, row)
+			g.rows = append(g.rows, r)
 		}
-		rep.Tables = append(rep.Tables, tbl)
+		groups = append(groups, g)
 	}
-	return rep
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "fig15",
+			Title: "TM performance comparison",
+			Notes: "relative execution time, STM = 1.0; store reuse fixed at 40%",
+		}
+		for _, g := range groups {
+			base := g.base
+			rep.Tables = append(rep.Tables, ratioTable(
+				fmt.Sprintf("%d%% cache reuse", g.reuse), "scheme \\ load%", "x of STM time",
+				cols, g.rows, func(j int) uint64 { return base[j].WallCycles() }))
+		}
+		return rep
+	}
+	return p
 }
 
-// Fig16 regenerates Figure 16: single-thread execution time of every TM
-// scheme relative to sequential execution.
-func Fig16(o Options) *Report {
-	rep := &Report{
-		ID:    "fig16",
-		Title: "Relative execution time for TM schemes",
-		Notes: "single thread; sequential execution = 1.0 (an ideal unbounded HTM would be 1.0)",
-	}
-	schemes := []string{SchemeHASTM, SchemeHyTM, SchemeSTM, SchemeLock}
-	tbl := Table{Name: "single-thread", ColHeader: "scheme \\ workload", Unit: "x of sequential time"}
-	tbl.Cols = append(tbl.Cols, Workloads()...)
-	base := make(map[string]uint64)
+// Fig15 regenerates Figure 15 serially.
+func Fig15(o Options) *Report { return runSerial(planFig15(o)) }
+
+// planSingleThread covers Figures 16 and 17: one table of schemes ×
+// workloads, single thread, normalised per workload to sequential time.
+func planSingleThread(id, title, notes, tableName string, schemes []string, o Options) *Plan {
+	p := newPlan(id)
+	base := make(map[string]*Cell)
 	for _, wl := range Workloads() {
-		base[wl] = runStructure(SchemeSeq, wl, 1, o).WallCycles
+		base[wl] = p.structure(SchemeSeq, wl, 1, o)
 	}
+	var rows []cellRow
 	for _, s := range schemes {
-		row := Row{Name: s}
+		r := cellRow{name: s}
 		for _, wl := range Workloads() {
-			m := runStructure(s, wl, 1, o)
-			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[wl]))
+			r.cells = append(r.cells, p.structure(s, wl, 1, o))
 		}
-		tbl.Rows = append(tbl.Rows, row)
+		rows = append(rows, r)
 	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
+	p.Assemble = func() *Report {
+		rep := &Report{ID: id, Title: title, Notes: notes}
+		wls := Workloads()
+		rep.Tables = append(rep.Tables, ratioTable(tableName, "scheme \\ workload", "x of sequential time",
+			wls, rows, func(j int) uint64 { return base[wls[j]].WallCycles() }))
+		return rep
+	}
+	return p
 }
 
-// Fig17 regenerates Figure 17: the HASTM ablation — full HASTM, cautious
+// planFig16 declares Figure 16: single-thread execution time of every TM
+// scheme relative to sequential execution.
+func planFig16(o Options) *Plan {
+	return planSingleThread("fig16", "Relative execution time for TM schemes",
+		"single thread; sequential execution = 1.0 (an ideal unbounded HTM would be 1.0)",
+		"single-thread", []string{SchemeHASTM, SchemeHyTM, SchemeSTM, SchemeLock}, o)
+}
+
+// Fig16 regenerates Figure 16 serially.
+func Fig16(o Options) *Report { return runSerial(planFig16(o)) }
+
+// planFig17 declares Figure 17: the HASTM ablation — full HASTM, cautious
 // only (no read-log elimination), no-reuse (no barrier filtering) and the
 // base STM, relative to sequential execution.
-func Fig17(o Options) *Report {
-	rep := &Report{
-		ID:    "fig17",
-		Title: "Performance breakdown for HASTM",
-		Notes: "single thread; sequential = 1.0; Cautious = no read-log elimination, NoReuse = no barrier filtering",
-	}
-	schemes := []string{SchemeHASTM, SchemeCautious, SchemeNoReuse, SchemeSTM}
-	tbl := Table{Name: "ablation", ColHeader: "scheme \\ workload", Unit: "x of sequential time"}
-	tbl.Cols = append(tbl.Cols, Workloads()...)
-	base := make(map[string]uint64)
-	for _, wl := range Workloads() {
-		base[wl] = runStructure(SchemeSeq, wl, 1, o).WallCycles
-	}
-	for _, s := range schemes {
-		row := Row{Name: s}
-		for _, wl := range Workloads() {
-			m := runStructure(s, wl, 1, o)
-			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base[wl]))
-		}
-		tbl.Rows = append(tbl.Rows, row)
-	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
+func planFig17(o Options) *Plan {
+	return planSingleThread("fig17", "Performance breakdown for HASTM",
+		"single thread; sequential = 1.0; Cautious = no read-log elimination, NoReuse = no barrier filtering",
+		"ablation", []string{SchemeHASTM, SchemeCautious, SchemeNoReuse, SchemeSTM}, o)
 }
 
-// multicoreFigure implements Figures 18–22: fixed total work split over
-// 1/2/4 cores, times relative to the single-core lock run.
-func multicoreFigure(id, title, workload string, schemes []string, o Options) *Report {
-	rep := &Report{
-		ID:    id,
-		Title: title,
-		Notes: "execution time relative to single-core lock time; fixed total work",
-	}
+// Fig17 regenerates Figure 17 serially.
+func Fig17(o Options) *Report { return runSerial(planFig17(o)) }
+
+// planMulticore covers Figures 18–22: fixed total work split over 1/2/4
+// cores, times relative to the single-core lock run.
+func planMulticore(id, title, workload string, schemes []string, o Options) *Plan {
 	cores := []int{1, 2, 4}
-	base := runStructure(SchemeLock, workload, 1, o).WallCycles
-	tbl := Table{Name: workload, ColHeader: "scheme \\ cores", Unit: "x of 1-core lock time"}
+	var cols []string
 	for _, c := range cores {
-		tbl.Cols = append(tbl.Cols, fmt.Sprint(c))
+		cols = append(cols, fmt.Sprint(c))
 	}
+	p := newPlan(id)
+	base := p.structure(SchemeLock, workload, 1, o)
+	var rows []cellRow
 	for _, s := range schemes {
-		row := Row{Name: s}
+		r := cellRow{name: s}
 		for _, c := range cores {
-			m := runStructure(s, workload, c, o)
-			row.Cells = append(row.Cells, float64(m.WallCycles)/float64(base))
+			r.cells = append(r.cells, p.structure(s, workload, c, o))
 		}
-		tbl.Rows = append(tbl.Rows, row)
+		rows = append(rows, r)
 	}
-	rep.Tables = append(rep.Tables, tbl)
-	return rep
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    id,
+			Title: title,
+			Notes: "execution time relative to single-core lock time; fixed total work",
+		}
+		b := base.WallCycles()
+		rep.Tables = append(rep.Tables, ratioTable(workload, "scheme \\ cores", "x of 1-core lock time",
+			cols, rows, func(int) uint64 { return b }))
+		return rep
+	}
+	return p
+}
+
+func planFig18(o Options) *Plan {
+	return planMulticore("fig18", "Multi-core scaling for BST", WorkloadBST,
+		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
 }
 
 // Fig18 regenerates Figure 18 (BST: HASTM vs STM vs lock).
-func Fig18(o Options) *Report {
-	return multicoreFigure("fig18", "Multi-core scaling for BST", WorkloadBST,
+func Fig18(o Options) *Report { return runSerial(planFig18(o)) }
+
+func planFig19(o Options) *Plan {
+	return planMulticore("fig19", "Multi-core scaling for Btree", WorkloadBTree,
 		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
 }
 
 // Fig19 regenerates Figure 19 (Btree).
-func Fig19(o Options) *Report {
-	return multicoreFigure("fig19", "Multi-core scaling for Btree", WorkloadBTree,
+func Fig19(o Options) *Report { return runSerial(planFig19(o)) }
+
+func planFig20(o Options) *Plan {
+	return planMulticore("fig20", "Multi-core scaling for hash table", WorkloadHash,
 		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
 }
 
 // Fig20 regenerates Figure 20 (hash table).
-func Fig20(o Options) *Report {
-	return multicoreFigure("fig20", "Multi-core scaling for hash table", WorkloadHash,
-		[]string{SchemeHASTM, SchemeSTM, SchemeLock}, o)
+func Fig20(o Options) *Report { return runSerial(planFig20(o)) }
+
+func planFig21(o Options) *Plan {
+	return planMulticore("fig21", "BST scaling (different TM schemes)", WorkloadBST,
+		[]string{SchemeHASTM, SchemeNaive, SchemeSTM}, o)
 }
 
 // Fig21 regenerates Figure 21 (BST: HASTM vs the naive always-aggressive
 // strawman vs STM — the spurious-abort study).
-func Fig21(o Options) *Report {
-	return multicoreFigure("fig21", "BST scaling (different TM schemes)", WorkloadBST,
+func Fig21(o Options) *Report { return runSerial(planFig21(o)) }
+
+func planFig22(o Options) *Plan {
+	return planMulticore("fig22", "Btree scaling (different TM schemes)", WorkloadBTree,
 		[]string{SchemeHASTM, SchemeNaive, SchemeSTM}, o)
 }
 
 // Fig22 regenerates Figure 22 (Btree, same schemes).
-func Fig22(o Options) *Report {
-	return multicoreFigure("fig22", "Btree scaling (different TM schemes)", WorkloadBTree,
-		[]string{SchemeHASTM, SchemeNaive, SchemeSTM}, o)
-}
+func Fig22(o Options) *Report { return runSerial(planFig22(o)) }
 
-// RunAll executes every experiment and returns the reports sorted by id.
+// RunAll executes every experiment serially and returns the reports sorted
+// by id. For parallel execution build the plans and call Execute.
 func RunAll(o Options) []*Report {
 	var out []*Report
 	for _, s := range All() {

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"hastm.dev/hastm/internal/stats"
+)
+
+// BenchSchema identifies the `hastm-bench -json` output format. Bump it on
+// any incompatible change so perf-trajectory tooling can dispatch.
+const BenchSchema = "hastm-bench/1"
+
+// CellRecord is the per-cell line of a benchmark run: the simulated result
+// plus the host-side cost of producing it. Simulated fields are
+// deterministic for a given (options, seed); host fields are not.
+type CellRecord struct {
+	Figure     string       `json:"figure"`
+	Label      string       `json:"label"`
+	WallCycles uint64       `json:"wall_cycles"`
+	HostMS     float64      `json:"host_ms"`
+	Stats      stats.Totals `json:"stats,omitempty"`
+}
+
+// BenchJSON is the full `hastm-bench -json` document: run metadata, every
+// figure's assembled tables, and per-cell host timings for perf-trajectory
+// tracking (BENCH_*.json files).
+type BenchJSON struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt time.Time    `json:"generated_at"`
+	GitRev      string       `json:"git_rev,omitempty"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	Workers     int          `json:"workers"`
+	Seed        uint64       `json:"seed"`
+	Options     Options      `json:"options"`
+	HostSeconds float64      `json:"host_seconds"`
+	Figures     []*Report    `json:"figures"`
+	Cells       []CellRecord `json:"cells"`
+}
+
+// NewBenchJSON assembles the document from executed plans. plans and
+// reports must be parallel slices as returned by Execute.
+func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elapsed time.Duration) *BenchJSON {
+	b := &BenchJSON{
+		Schema:      BenchSchema,
+		GeneratedAt: time.Now().UTC(),
+		GitRev:      gitRevision(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     workers,
+		Seed:        o.Seed,
+		Options:     o,
+		HostSeconds: elapsed.Seconds(),
+		Figures:     reports,
+	}
+	for _, p := range plans {
+		for _, c := range p.Cells {
+			rec := CellRecord{
+				Figure:     c.Figure,
+				Label:      c.Label,
+				WallCycles: c.Metrics().WallCycles,
+				HostMS:     float64(c.HostNS) / 1e6,
+			}
+			if s := c.Metrics().Stats; s != nil {
+				rec.Stats = s.Totals()
+			}
+			b.Cells = append(b.Cells, rec)
+		}
+	}
+	return b
+}
+
+// Write emits the document as indented JSON.
+func (b *BenchJSON) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// gitRevision returns the VCS revision baked into the binary, or "" when
+// the build carries no VCS stamp (e.g. `go test`).
+func gitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" && modified == "true" {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Cell is one independent simulation run inside a figure's execution
+// plan: a closure over a fully specified configuration plus the result
+// slot it fills. Every cell builds its own private sim.Machine, so cells
+// never share simulated state and can execute in any order — or
+// concurrently — without changing their results.
+type Cell struct {
+	// Figure is the owning experiment id ("fig11", "ext-smt").
+	Figure string
+	// Label identifies the configuration ("stm/bst/4", "micro/hastm/80/50").
+	Label string
+	// HostNS is the host wall time the cell took, for -progress and -json.
+	HostNS int64
+
+	fn      func() RunMetrics
+	metrics RunMetrics
+	done    bool
+}
+
+// Metrics returns the cell's result. It panics if the cell has not been
+// executed: assembly must only ever read executed cells, and a panic here
+// turns a scheduling bug into a loud failure instead of a silent zero.
+func (c *Cell) Metrics() RunMetrics {
+	if !c.done {
+		panic(fmt.Sprintf("harness: cell %s/%s read before execution", c.Figure, c.Label))
+	}
+	return c.metrics
+}
+
+// WallCycles is shorthand for Metrics().WallCycles.
+func (c *Cell) WallCycles() uint64 { return c.Metrics().WallCycles }
+
+func (c *Cell) execute() {
+	start := time.Now()
+	c.metrics = c.fn()
+	c.HostNS = time.Since(start).Nanoseconds()
+	c.done = true
+}
+
+// A Plan is one figure decomposed into its independent cells plus a pure
+// assembly step. Assemble reads only cell results (by the slots captured
+// at declaration time), so the rendered report is bit-identical regardless
+// of how the cells were scheduled.
+type Plan struct {
+	ID       string
+	Cells    []*Cell
+	Assemble func() *Report
+}
+
+func newPlan(id string) *Plan { return &Plan{ID: id} }
+
+// cell declares one run. Cells execute in declaration order under the
+// serial fallback (workers = 1), preserving the original figure-function
+// behaviour exactly.
+func (p *Plan) cell(label string, fn func() RunMetrics) *Cell {
+	c := &Cell{Figure: p.ID, Label: label, fn: fn}
+	p.Cells = append(p.Cells, c)
+	return c
+}
+
+// structure declares a standard data-structure benchmark cell.
+func (p *Plan) structure(scheme, workload string, cores int, o Options) *Cell {
+	return p.cell(fmt.Sprintf("%s/%s/%d", scheme, workload, cores), func() RunMetrics {
+		return runStructure(scheme, workload, cores, o)
+	})
+}
+
+// micro declares a Fig 15 microbenchmark cell.
+func (p *Plan) micro(scheme string, loadPct, loadReuse int, o Options) *Cell {
+	return p.cell(fmt.Sprintf("micro/%s/%d/%d", scheme, loadPct, loadReuse), func() RunMetrics {
+		return runMicro(scheme, loadPct, loadReuse, o)
+	})
+}
+
+// microExt declares an extended microbenchmark cell with explicit store reuse.
+func (p *Plan) microExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) *Cell {
+	return p.cell(fmt.Sprintf("micro/%s/%d/%d/s%d", scheme, loadPct, loadReuse, storeReuse), func() RunMetrics {
+		return runMicroExt(scheme, loadPct, loadReuse, storeReuse, o)
+	})
+}
+
+// cellRow is a named series of cells (one table row before normalisation).
+type cellRow struct {
+	name  string
+	cells []*Cell
+}
+
+// ratioTable assembles a Table whose cell (i, j) is rows[i].cells[j]
+// divided by base(j) — the normalised-execution-time shape every figure
+// uses. base is called at assembly time, after all cells have executed.
+func ratioTable(name, colHeader, unit string, cols []string, rows []cellRow, base func(col int) uint64) Table {
+	tbl := Table{Name: name, ColHeader: colHeader, Unit: unit, Cols: cols}
+	for _, r := range rows {
+		row := Row{Name: r.name}
+		for j, c := range r.cells {
+			row.Cells = append(row.Cells, float64(c.Metrics().WallCycles)/float64(base(j)))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+// runSerial executes a single plan's cells in declaration order on the
+// calling goroutine and assembles its report — the exact behaviour of the
+// original serial figure functions.
+func runSerial(p *Plan) *Report {
+	for _, c := range p.Cells {
+		c.execute()
+	}
+	return p.Assemble()
+}
+
+// ExecConfig controls parallel cell execution.
+type ExecConfig struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	// 1 runs every cell in declaration order on the calling goroutine.
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// workers returns the resolved pool size.
+func (cfg ExecConfig) workers() int {
+	if cfg.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg.Workers
+}
+
+// Execute runs every cell of every plan — serially in declaration order
+// when cfg.Workers is 1, otherwise on a shared worker pool — then
+// assembles the reports in plan order. Because each cell owns a private
+// machine and results are written back into the declared slots, the
+// returned reports are bit-identical for every worker count.
+func Execute(plans []*Plan, cfg ExecConfig) []*Report {
+	var cells []*Cell
+	for _, p := range plans {
+		cells = append(cells, p.Cells...)
+	}
+
+	workers := cfg.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var completed atomic.Int64
+	var progressMu sync.Mutex
+	report := func(c *Cell) {
+		if cfg.Progress == nil {
+			return
+		}
+		n := completed.Add(1)
+		progressMu.Lock()
+		fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-16s %-28s %8.1fms  %d cycles\n",
+			n, len(cells), c.Figure, c.Label, float64(c.HostNS)/1e6, c.metrics.WallCycles)
+		progressMu.Unlock()
+	}
+
+	if workers <= 1 {
+		for _, c := range cells {
+			c.execute()
+			report(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cells) {
+						return
+					}
+					cells[i].execute()
+					report(cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	reports := make([]*Report, len(plans))
+	for i, p := range plans {
+		reports[i] = p.Assemble()
+	}
+	return reports
+}

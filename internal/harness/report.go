@@ -13,29 +13,30 @@ import (
 	"strings"
 )
 
-// Report is the regenerated form of one paper figure.
+// Report is the regenerated form of one paper figure. The json tags are
+// the stable `hastm-bench -json` schema.
 type Report struct {
-	ID     string // "fig16"
-	Title  string // the paper's caption
-	Notes  string // normalisation/baseline explanation
-	Tables []Table
+	ID     string  `json:"id"`    // "fig16"
+	Title  string  `json:"title"` // the paper's caption
+	Notes  string  `json:"notes"` // normalisation/baseline explanation
+	Tables []Table `json:"tables"`
 }
 
 // Table is one group of series within a figure (e.g. one data structure).
 type Table struct {
-	Name string
+	Name string `json:"name"`
 	// ColHeader labels the columns ("cores", "load fraction", ...).
-	ColHeader string
-	Cols      []string
-	Rows      []Row
+	ColHeader string   `json:"col_header"`
+	Cols      []string `json:"cols"`
+	Rows      []Row    `json:"rows"`
 	// Unit describes cell values ("x relative to STM", "% of cycles").
-	Unit string
+	Unit string `json:"unit"`
 }
 
 // Row is one series (a scheme or a workload).
 type Row struct {
-	Name  string
-	Cells []float64
+	Name  string    `json:"name"`
+	Cells []float64 `json:"cells"`
 }
 
 // Get returns a cell by table name, row name and column label.

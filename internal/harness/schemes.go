@@ -169,6 +169,33 @@ type RunMetrics struct {
 	Trace      *sim.TraceBuffer // non-nil when Options.TraceMax > 0
 }
 
+// validateConfig rejects unknown schemes/workloads and bad core counts,
+// shared by RunOne and FinalStateHash.
+func validateConfig(scheme, workload string, cores int) error {
+	if cores < 1 {
+		return fmt.Errorf("cores must be >= 1, got %d", cores)
+	}
+	known := false
+	for _, s := range []string{
+		SchemeSeq, SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious,
+		SchemeNoReuse, SchemeNaive, SchemeHyTM, SchemeHTM,
+		SchemeWFilter, SchemeInterAtomic, SchemeObjHASTM, SchemeObjSTM, SchemeWatermark,
+	} {
+		if scheme == s {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	switch workload {
+	case WorkloadHash, WorkloadBST, WorkloadBTree, WorkloadObjBST:
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	return nil
+}
+
 // runStructure executes the standard data-structure benchmark: populate,
 // then `o.Ops` operations (20% updates, as in the paper) split across
 // `cores` threads under the named scheme.
@@ -186,26 +213,8 @@ func runStructure(scheme, workload string, cores int, o Options) RunMetrics {
 // barrier; only steady-state cycles are reported, as a long benchmark run
 // on real hardware would.
 func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMetrics, error) {
-	if cores < 1 {
-		return RunMetrics{}, fmt.Errorf("cores must be >= 1, got %d", cores)
-	}
-	known := false
-	for _, s := range []string{
-		SchemeSeq, SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious,
-		SchemeNoReuse, SchemeNaive, SchemeHyTM, SchemeHTM,
-		SchemeWFilter, SchemeInterAtomic, SchemeObjHASTM, SchemeObjSTM, SchemeWatermark,
-	} {
-		if scheme == s {
-			known = true
-		}
-	}
-	if !known {
-		return RunMetrics{}, fmt.Errorf("unknown scheme %q", scheme)
-	}
-	switch workload {
-	case WorkloadHash, WorkloadBST, WorkloadBTree, WorkloadObjBST:
-	default:
-		return RunMetrics{}, fmt.Errorf("unknown workload %q", workload)
+	if err := validateConfig(scheme, workload, cores); err != nil {
+		return RunMetrics{}, err
 	}
 
 	machine := machineForISA(cores, o.DefaultISA)

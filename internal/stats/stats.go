@@ -221,6 +221,46 @@ func (m *Machine) Breakdown() []CategoryShare {
 	return out
 }
 
+// Totals is a machine-wide counter summary in a JSON-friendly shape: maps
+// keyed by category/cause name instead of positional arrays, zero entries
+// omitted, so emitted benchmark records stay readable and stable as
+// categories are added.
+type Totals struct {
+	Cycles          map[string]uint64 `json:"cycles,omitempty"`
+	Commits         uint64            `json:"commits,omitempty"`
+	Aborts          map[string]uint64 `json:"aborts,omitempty"`
+	FilteredReads   uint64            `json:"filtered_reads,omitempty"`
+	FastValidations uint64            `json:"fast_validations,omitempty"`
+	WaitCycles      uint64            `json:"wait_cycles,omitempty"`
+}
+
+// Totals aggregates every core's counters into the JSON-friendly summary.
+func (m *Machine) Totals() Totals {
+	t := Totals{Commits: m.Commits()}
+	for _, cat := range Categories() {
+		if c := m.CategoryCycles(cat); c > 0 {
+			if t.Cycles == nil {
+				t.Cycles = make(map[string]uint64)
+			}
+			t.Cycles[cat.String()] = c
+		}
+	}
+	for cause := AbortCause(0); cause < numAbortCauses; cause++ {
+		if a := m.Aborts(cause); a > 0 {
+			if t.Aborts == nil {
+				t.Aborts = make(map[string]uint64)
+			}
+			t.Aborts[cause.String()] = a
+		}
+	}
+	for i := range m.Cores {
+		t.FilteredReads += m.Cores[i].FilteredReads
+		t.FastValidations += m.Cores[i].FastValidations
+		t.WaitCycles += m.Cores[i].WaitCycles
+	}
+	return t
+}
+
 // CategoryShare is one row of Breakdown.
 type CategoryShare struct {
 	Category Category

@@ -127,3 +127,61 @@ func RunThread(th tm.Thread, ds DataStructure, cfg DriverConfig) error {
 	}
 	return nil
 }
+
+// RunThreadStable is RunThread with retry-stable randomness: every
+// operation draws from a generator derived from (seed, op index), created
+// inside the atomic block, so an aborted and re-executed transaction
+// replays exactly the same operation instead of advancing the stream.
+// Schemes that re-execute transactions (aggressive HASTM commits, HTM
+// capacity aborts, HyTM fallbacks) therefore apply the same logical
+// operation sequence as schemes that never abort — the property the
+// cross-scheme conformance tests check.
+func RunThreadStable(th tm.Thread, ds DataStructure, cfg DriverConfig) error {
+	base := cfg.Seed + uint64(th.Ctx().ID())*0x9e3779b9 + 1
+	decide := NewRand(base)
+	for i := 0; i < cfg.Ops; i++ {
+		update := decide.Percent(cfg.UpdatePercent)
+		opSeed := base ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		err := th.Atomic(func(tx tm.Txn) error {
+			return ds.Op(tx, NewRand(opSeed), update)
+		})
+		if err != nil {
+			return fmt.Errorf("op %d on %s: %w", i, ds.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Lookuper is the read interface every keyed structure exposes; used by
+// Fingerprint to canonicalise contents independent of physical layout.
+type Lookuper interface {
+	Lookup(tx tm.Txn, key uint64) (uint64, bool)
+}
+
+// Fingerprint folds the structure's entire visible contents — every
+// (key, value) binding reachable through Lookup over the key space — into
+// an FNV-1a hash. Two structures fingerprint equal iff they hold the same
+// mappings, regardless of tree shape, probe order or node addresses, so
+// different TM schemes applying the same operation sequence must agree.
+func Fingerprint(ds DataStructure, tx tm.Txn) uint64 {
+	l, ok := ds.(Lookuper)
+	if !ok {
+		panic(fmt.Sprintf("workloads: %s does not support Lookup", ds.Name()))
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for k := uint64(0); k < ds.KeySpace(); k++ {
+		if v, present := l.Lookup(tx, k); present {
+			mix(k)
+			mix(v)
+		}
+	}
+	return h
+}
