@@ -7,14 +7,17 @@
 //	hastm-bench -quick        # reduced sizes (seconds instead of minutes)
 //	hastm-bench -ops 4096     # override the total operation count
 //	hastm-bench -j 8          # run independent experiment cells on 8 workers
-//	hastm-bench -json         # machine-readable report (schema hastm-bench/1)
+//	hastm-bench -json         # machine-readable report (schema hastm-bench/2)
 //	hastm-bench -progress     # per-cell progress on stderr
+//	hastm-bench -trace t.jsonl  # per-transaction JSONL event trace
 //	hastm-bench -list         # list experiment ids
 //
 // Reports go to stdout, diagnostics (progress, timing) to stderr. Every
 // simulation cell runs on its own private simulated machine, so reports
 // are bit-identical for every -j value: parallelism changes only the host
-// wall-clock, never the science.
+// wall-clock, never the science. The -trace file is written after all
+// cells complete, in cell declaration order, so it too is byte-identical
+// for every -j value; analyse it with cmd/traceanalyze.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"hastm.dev/hastm/internal/harness"
+	"hastm.dev/hastm/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 		jsonF    = flag.Bool("json", false, "emit a JSON report with per-cell host timings")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for experiment cells (1 = serial)")
 		progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
+		traceF   = flag.String("trace", "", "write a per-transaction JSONL event trace to this file ('-' = stderr)")
+		traceMax = flag.Int("trace-max", telemetry.DefaultTraceLimit, "per-cell transaction-event cap for -trace")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -61,6 +67,9 @@ func main() {
 		o.Ops = *ops
 	}
 	o.Seed = *seed
+	if *traceF != "" {
+		o.TxnTraceMax = *traceMax
+	}
 
 	specs := harness.All()
 	if *ext {
@@ -82,13 +91,42 @@ func main() {
 		cellCount += len(plans[i].Cells)
 	}
 
+	// Progress lines and (when -trace targets stderr) trace output share
+	// one mutex-guarded writer, so concurrent workers can never interleave
+	// them mid-line.
+	stderrSync := telemetry.NewSyncWriter(os.Stderr)
 	cfg := harness.ExecConfig{Workers: *workers}
 	if *progress {
-		cfg.Progress = os.Stderr
+		cfg.ProgressSync = stderrSync
 	}
 	start := time.Now()
 	reports := harness.Execute(plans, cfg)
 	elapsed := time.Since(start)
+
+	if *traceF != "" {
+		tw := stderrSync
+		var f *os.File
+		if *traceF != "-" {
+			var err error
+			f, err = os.Create(*traceF)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: trace: %v\n", err)
+				os.Exit(1)
+			}
+			tw = telemetry.NewSyncWriter(f)
+		}
+		written, dropped, err := harness.WriteTxnTraces(plans, tw)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hastm-bench: trace: %d events written, %d dropped\n", written, dropped)
+	}
 
 	switch {
 	case *jsonF:

@@ -56,7 +56,7 @@ func main() {
 	}
 
 	fmt.Println("\nabort causes:")
-	for c := stats.AbortCause(0); c < 5; c++ {
+	for _, c := range stats.AbortCauses() {
 		if n := m.Stats.Aborts(c); n > 0 {
 			fmt.Printf("  %-20s %d\n", c, n)
 		}

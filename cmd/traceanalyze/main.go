@@ -1,32 +1,62 @@
-// Command traceanalyze reproduces the paper's §7.2 workload analysis
-// (Fig 13): the fraction of loads and the degree of intra-critical-section
-// cache reuse for the twelve analysed Java/pthreads workloads, plus the
-// same measurement for this repository's transactional data structures
-// (backing the §7.3 reuse claims: hashtable < 3%, BST ~38%, B-tree ~68%).
+// Command traceanalyze analyses transaction behaviour from two sources.
+//
+// With a positional argument it consumes the per-transaction JSONL event
+// trace written by `hastm-bench -trace` and reports abort-cause breakdowns,
+// retry-depth histograms and per-cell commit/abort summaries — the
+// analyses the paper's Figs 5–9 discussion performs on abort behaviour.
+// Malformed input is a hard error (non-zero exit), so CI can use the tool
+// to validate trace artifacts.
+//
+// Without a positional argument it reproduces the paper's §7.2 workload
+// analysis (Fig 13): the fraction of loads and the degree of
+// intra-critical-section cache reuse for the twelve analysed Java/pthreads
+// workloads, plus (with -structures) the same measurement for this
+// repository's transactional data structures.
 //
 // Usage:
 //
-//	traceanalyze                 # the 12 workload profiles
+//	traceanalyze trace.jsonl     # analyse a hastm-bench -trace file
+//	traceanalyze -top 5 t.jsonl  # show the 5 most abort-heavy cells
+//	traceanalyze                 # the 12 workload profiles (Fig 13)
 //	traceanalyze -structures     # also measure hashtable/BST/B-tree
 //	traceanalyze -sections 1000  # more sections per workload
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"sort"
+	"strings"
 
 	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/workloads"
 	"hastm.dev/hastm/internal/workloads/traces"
 )
 
 func main() {
 	var (
-		sections   = flag.Int("sections", 400, "critical sections generated per workload")
-		seed       = flag.Uint64("seed", 1, "deterministic seed")
-		structures = flag.Bool("structures", false, "also measure the TM data structures")
+		sections   = flag.Int("sections", 400, "critical sections generated per workload (Fig 13 mode)")
+		seed       = flag.Uint64("seed", 1, "deterministic seed (Fig 13 mode)")
+		structures = flag.Bool("structures", false, "also measure the TM data structures (Fig 13 mode)")
+		top        = flag.Int("top", 10, "cells shown in the per-cell summary (JSONL mode; 0 = all)")
 	)
 	flag.Parse()
+
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "traceanalyze: at most one trace file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		if err := analyzeJSONL(flag.Arg(0), *top); err != nil {
+			fmt.Fprintf(os.Stderr, "traceanalyze: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("workload analysis (Fig 13): memory operations inside critical sections")
 	fmt.Printf("%-14s %10s %14s %15s\n", "workload", "% loads", "load reuse %", "store reuse %")
@@ -54,4 +84,158 @@ func main() {
 func printResult(r traces.Result) {
 	fmt.Printf("%-14s %10.1f %14.1f %15.1f\n",
 		r.Name, 100*r.LoadFraction, 100*r.LoadReuse, 100*r.StoreReuse)
+}
+
+// cellStat accumulates one experiment cell's transaction outcomes.
+type cellStat struct {
+	begins, commits, aborts, retries, fallbacks, modes uint64
+}
+
+// analyzeJSONL reads a hastm-bench -trace file and prints the abort-cause
+// breakdown, the retry-depth histogram and per-cell summaries. Any line
+// that is not a valid transaction event is an error.
+func analyzeJSONL(path string, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		total      uint64
+		kinds      = map[string]uint64{}
+		abortCause = map[string]uint64{}
+		// retryDepth[r] counts transactions that committed on attempt r.
+		retryDepth = map[int]uint64{}
+		maxDepth   int
+		cells      = map[string]*cellStat{}
+		cellOrder  []string
+	)
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev telemetry.TxnEvent
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("%s:%d: malformed event: %v", path, lineNo, err)
+		}
+		switch ev.Kind {
+		case telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
+			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode:
+		default:
+			return fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, ev.Kind)
+		}
+		if ev.Retry < 0 {
+			return fmt.Errorf("%s:%d: negative retry index %d", path, lineNo, ev.Retry)
+		}
+
+		total++
+		kinds[ev.Kind]++
+		cs := cells[ev.Cell]
+		if cs == nil {
+			cs = &cellStat{}
+			cells[ev.Cell] = cs
+			cellOrder = append(cellOrder, ev.Cell)
+		}
+		switch ev.Kind {
+		case telemetry.EvBegin:
+			cs.begins++
+		case telemetry.EvCommit:
+			cs.commits++
+			retryDepth[ev.Retry]++
+			if ev.Retry > maxDepth {
+				maxDepth = ev.Retry
+			}
+		case telemetry.EvAbort:
+			cs.aborts++
+			cause := ev.Cause
+			if cause == "" {
+				cause = "(unspecified)"
+			}
+			abortCause[cause]++
+		case telemetry.EvRetry:
+			cs.retries++
+		case telemetry.EvFallback:
+			cs.fallbacks++
+		case telemetry.EvMode:
+			cs.modes++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if total == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+
+	fmt.Printf("%s: %d events across %d cells\n\n", path, total, len(cells))
+
+	fmt.Println("event kinds:")
+	for _, k := range []string{telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
+		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode} {
+		if n := kinds[k]; n > 0 {
+			fmt.Printf("  %-10s %8d\n", k, n)
+		}
+	}
+
+	var aborts uint64
+	for _, n := range abortCause {
+		aborts += n
+	}
+	fmt.Println("\nabort causes:")
+	if aborts == 0 {
+		fmt.Println("  (no aborts)")
+	} else {
+		causes := make([]string, 0, len(abortCause))
+		for c := range abortCause {
+			causes = append(causes, c)
+		}
+		sort.Slice(causes, func(i, j int) bool {
+			if abortCause[causes[i]] != abortCause[causes[j]] {
+				return abortCause[causes[i]] > abortCause[causes[j]]
+			}
+			return causes[i] < causes[j]
+		})
+		for _, c := range causes {
+			n := abortCause[c]
+			fmt.Printf("  %-20s %8d  (%5.1f%%)\n", c, n, 100*float64(n)/float64(aborts))
+		}
+	}
+
+	fmt.Println("\nretry depth at commit (0 = first attempt):")
+	var commits uint64
+	for _, n := range retryDepth {
+		commits += n
+	}
+	for d := 0; d <= maxDepth; d++ {
+		n := retryDepth[d]
+		bar := strings.Repeat("#", int(50*float64(n)/float64(commits)+0.5))
+		fmt.Printf("  %3d %8d  %s\n", d, n, bar)
+	}
+
+	fmt.Println("\nper-cell summary (most aborts first):")
+	sort.SliceStable(cellOrder, func(i, j int) bool {
+		return cells[cellOrder[i]].aborts > cells[cellOrder[j]].aborts
+	})
+	shown := cellOrder
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	fmt.Printf("  %-36s %8s %8s %8s %9s\n", "cell", "commits", "aborts", "retries", "fallbacks")
+	for _, name := range shown {
+		cs := cells[name]
+		fmt.Printf("  %-36s %8d %8d %8d %9d\n", name, cs.commits, cs.aborts, cs.retries, cs.fallbacks)
+	}
+	if len(shown) < len(cellOrder) {
+		fmt.Printf("  ... %d more cells (-top 0 for all)\n", len(cellOrder)-len(shown))
+	}
+	return nil
 }

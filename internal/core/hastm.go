@@ -20,6 +20,7 @@ import (
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
 	"hastm.dev/hastm/internal/stm"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/tm"
 )
 
@@ -167,6 +168,9 @@ type accel struct {
 	committedOnce bool
 	failRate      float64 // decayed rate of aggressive-unfriendly outcomes
 	sawMarkLoss   bool    // mark counter went non-zero this attempt
+
+	lastMode    bool // mode of the previous attempt, for transition telemetry
+	lastModeSet bool
 }
 
 var _ stm.Accel = (*accel)(nil)
@@ -194,6 +198,31 @@ func (a *accel) Begin(t *stm.Thread, attempt int) {
 	a.sawMarkLoss = false
 
 	ctx := t.Ctx()
+	tb := ctx.Telem()
+	if a.aggressive {
+		tb.Inc(telemetry.AggressiveAttempts)
+	} else {
+		tb.Inc(telemetry.CautiousAttempts)
+	}
+	if !a.lastModeSet || a.lastMode != a.aggressive {
+		if a.lastModeSet {
+			// A real transition (not the initial mode choice): record it
+			// with the watermark value that drove the controller's decision.
+			if a.aggressive {
+				tb.Inc(telemetry.ModeSwitchAggressive)
+			} else {
+				tb.Inc(telemetry.ModeSwitchCautious)
+			}
+			tb.ObserveMax(telemetry.WatermarkPPM, uint64(a.failRate*1e6))
+		}
+		mode := "cautious"
+		if a.aggressive {
+			mode = "aggressive"
+		}
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.TxnSeq(), Retry: attempt, Kind: telemetry.EvMode, Cause: mode})
+		a.lastMode = a.aggressive
+		a.lastModeSet = true
+	}
 	prev := ctx.SetCat(stats.Commit)
 	if a.cfg.InterAtomic && !a.aggressive {
 		// Carried-over marks are only sound under aggressive commit
@@ -307,6 +336,7 @@ func (a *accel) PreValidate(t *stm.Thread, atCommit bool) (skipFull, ok bool) {
 	if markCount == 0 {
 		return true, true
 	}
+	ctx.Telem().Inc(telemetry.MarkCounterNonZero)
 	a.sawMarkLoss = true
 	if a.aggressive {
 		return false, false

@@ -82,7 +82,7 @@ func TestLongTransactionSpansSchedulingQuanta(t *testing.T) {
 	if st.Commits != 1 {
 		t.Fatalf("commits = %d, want 1", st.Commits)
 	}
-	if st.Aborts[stats.AbortConflict] != 0 {
+	if st.Aborts[stats.AbortValidation] != 0 || st.Aborts[stats.AbortLockConflict] != 0 {
 		t.Fatal("interrupts caused conflict aborts on an uncontended transaction")
 	}
 	if st.FullValidations == 0 {

@@ -222,6 +222,41 @@ func planFig15(o Options) *Plan {
 // Fig15 regenerates Figure 15 serially.
 func Fig15(o Options) *Report { return runSerial(planFig15(o)) }
 
+// abortCauseTable summarises why transactions aborted, per scheme row:
+// one column per cause of the taxonomy plus a total that the causes sum
+// to (checked by conformance tests). Counts are summed over each row's
+// cells, so a row aggregates a scheme across the plan's workloads or core
+// counts.
+func abortCauseTable(rows []cellRow) Table {
+	tbl := Table{Name: "abort causes", ColHeader: "scheme \\ cause", Unit: "aborts (sum over row's cells)"}
+	causes := stats.AbortCauses()
+	for _, cause := range causes {
+		tbl.Cols = append(tbl.Cols, cause.String())
+	}
+	tbl.Cols = append(tbl.Cols, "total")
+	for _, r := range rows {
+		row := Row{Name: r.name}
+		per := make([]uint64, len(causes))
+		var total uint64
+		for _, c := range r.cells {
+			st := c.Metrics().Stats
+			if st == nil {
+				continue
+			}
+			for i, cause := range causes {
+				per[i] += st.Aborts(cause)
+			}
+			total += st.TotalAborts()
+		}
+		for _, v := range per {
+			row.Cells = append(row.Cells, float64(v))
+		}
+		row.Cells = append(row.Cells, float64(total))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
 // planSingleThread covers Figures 16 and 17: one table of schemes ×
 // workloads, single thread, normalised per workload to sequential time.
 func planSingleThread(id, title, notes, tableName string, schemes []string, o Options) *Plan {
@@ -243,6 +278,7 @@ func planSingleThread(id, title, notes, tableName string, schemes []string, o Op
 		wls := Workloads()
 		rep.Tables = append(rep.Tables, ratioTable(tableName, "scheme \\ workload", "x of sequential time",
 			wls, rows, func(j int) uint64 { return base[wls[j]].WallCycles() }))
+		rep.Tables = append(rep.Tables, abortCauseTable(rows))
 		return rep
 	}
 	return p
@@ -298,6 +334,7 @@ func planMulticore(id, title, workload string, schemes []string, o Options) *Pla
 		b := base.WallCycles()
 		rep.Tables = append(rep.Tables, ratioTable(workload, "scheme \\ cores", "x of 1-core lock time",
 			cols, rows, func(int) uint64 { return b }))
+		rep.Tables = append(rep.Tables, abortCauseTable(rows))
 		return rep
 	}
 	return p

@@ -8,21 +8,27 @@ import (
 	"time"
 
 	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/telemetry"
 )
 
 // BenchSchema identifies the `hastm-bench -json` output format. Bump it on
 // any incompatible change so perf-trajectory tooling can dispatch.
-const BenchSchema = "hastm-bench/1"
+// hastm-bench/2: stats carries the full per-cell counter set (split
+// abort-cause taxonomy, barrier/validation/log counters) and cells gain a
+// telemetry block (mode transitions, mark-counter observations, high-water
+// marks).
+const BenchSchema = "hastm-bench/2"
 
 // CellRecord is the per-cell line of a benchmark run: the simulated result
 // plus the host-side cost of producing it. Simulated fields are
 // deterministic for a given (options, seed); host fields are not.
 type CellRecord struct {
-	Figure     string       `json:"figure"`
-	Label      string       `json:"label"`
-	WallCycles uint64       `json:"wall_cycles"`
-	HostMS     float64      `json:"host_ms"`
-	Stats      stats.Totals `json:"stats,omitempty"`
+	Figure     string            `json:"figure"`
+	Label      string            `json:"label"`
+	WallCycles uint64            `json:"wall_cycles"`
+	HostMS     float64           `json:"host_ms"`
+	Stats      stats.Totals      `json:"stats,omitempty"`
+	Telemetry  *telemetry.Totals `json:"telemetry,omitempty"`
 }
 
 // BenchJSON is the full `hastm-bench -json` document: run metadata, every
@@ -67,6 +73,11 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 			}
 			if s := c.Metrics().Stats; s != nil {
 				rec.Stats = s.Totals()
+			}
+			if tm := c.Metrics().Telem; tm != nil {
+				if tot := tm.Totals(); tot.Counters != nil || tot.Gauges != nil {
+					rec.Telemetry = &tot
+				}
 			}
 			b.Cells = append(b.Cells, rec)
 		}

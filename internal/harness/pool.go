@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hastm.dev/hastm/internal/telemetry"
 )
 
 // A Cell is one independent simulation run inside a figure's execution
@@ -127,6 +129,11 @@ type ExecConfig struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
+	// ProgressSync, when non-nil, takes precedence over Progress: progress
+	// lines go through this mutex-guarded writer, so a caller that also
+	// routes other output (e.g. -trace JSONL) through the same SyncWriter
+	// can never interleave the two mid-line.
+	ProgressSync *telemetry.SyncWriter
 }
 
 // workers returns the resolved pool size.
@@ -152,17 +159,21 @@ func Execute(plans []*Plan, cfg ExecConfig) []*Report {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// All progress lines go through one mutex-guarded writer: concurrent
+	// workers finishing cells at the same host instant must never tear or
+	// interleave lines.
+	pw := cfg.ProgressSync
+	if pw == nil && cfg.Progress != nil {
+		pw = telemetry.NewSyncWriter(cfg.Progress)
+	}
 	var completed atomic.Int64
-	var progressMu sync.Mutex
 	report := func(c *Cell) {
-		if cfg.Progress == nil {
+		if pw == nil {
 			return
 		}
 		n := completed.Add(1)
-		progressMu.Lock()
-		fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-16s %-28s %8.1fms  %d cycles\n",
+		pw.Printf("[%3d/%3d] %-16s %-28s %8.1fms  %d cycles\n",
 			n, len(cells), c.Figure, c.Label, float64(c.HostNS)/1e6, c.metrics.WallCycles)
-		progressMu.Unlock()
 	}
 
 	if workers <= 1 {
@@ -195,4 +206,27 @@ func Execute(plans []*Plan, cfg ExecConfig) []*Report {
 		reports[i] = p.Assemble()
 	}
 	return reports
+}
+
+// WriteTxnTraces dumps every executed cell's per-transaction event trace as
+// JSONL, cells in plan/declaration order, each event stamped with its
+// "figure/label" cell id. Within one cell the simulator's one-op-at-a-time
+// grant order makes the event sequence deterministic, so the full file is
+// byte-identical for every worker count. Returns the number of events
+// written and the number dropped to buffer caps.
+func WriteTxnTraces(plans []*Plan, w *telemetry.SyncWriter) (written, dropped uint64, err error) {
+	for _, p := range plans {
+		for _, c := range p.Cells {
+			tb := c.Metrics().TxnTrace
+			if tb == nil {
+				continue
+			}
+			if err := tb.WriteJSONL(w, c.Figure+"/"+c.Label); err != nil {
+				return written, dropped, err
+			}
+			written += uint64(tb.Len())
+			dropped += tb.Dropped()
+		}
+	}
+	return written, dropped, nil
 }

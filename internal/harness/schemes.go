@@ -11,6 +11,7 @@ import (
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
 	"hastm.dev/hastm/internal/stm"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/tm"
 	"hastm.dev/hastm/internal/workloads"
 )
@@ -35,6 +36,11 @@ type Options struct {
 	// TraceMax, if positive, attaches a transaction-level event trace to
 	// the run (RunMetrics.Trace).
 	TraceMax int
+	// TxnTraceMax, if positive, attaches a per-transaction JSONL event
+	// buffer (begin/commit/abort-with-cause, txn id, retry index) holding
+	// at most this many events to every run (RunMetrics.TxnTrace); the
+	// hastm-bench -trace flag sets it.
+	TxnTraceMax int
 }
 
 // DefaultOptions returns the full-size evaluation parameters.
@@ -166,7 +172,9 @@ type RunMetrics struct {
 	WallCycles uint64
 	Stats      *stats.Machine
 	CacheStats *cache.Hierarchy
-	Trace      *sim.TraceBuffer // non-nil when Options.TraceMax > 0
+	Telem      *telemetry.Machine
+	Trace      *sim.TraceBuffer       // non-nil when Options.TraceMax > 0
+	TxnTrace   *telemetry.TraceBuffer // non-nil when Options.TxnTraceMax > 0
 }
 
 // validateConfig rejects unknown schemes/workloads and bad core counts,
@@ -223,6 +231,11 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 		tb = sim.NewTraceBuffer(o.TraceMax * 16)
 		machine.SetTrace(tb)
 	}
+	var xb *telemetry.TraceBuffer
+	if o.TxnTraceMax > 0 {
+		xb = telemetry.NewTraceBuffer(o.TxnTraceMax)
+		machine.SetTxnTrace(xb)
+	}
 	sys := buildExtScheme(scheme, machine, cores)
 	ds := buildStructure(workload, machine.Mem, o)
 	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
@@ -267,7 +280,15 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 					c.Exec(1)
 				}
 				c.Step(func(m *sim.Machine) uint64 {
+					// Warmup excluded from the counter stores and the
+					// transaction trace so reports describe steady state
+					// only — and so the trace's abort events tally exactly
+					// with the abort counters.
 					m.Stats.Reset()
+					m.Telem.Reset()
+					if tb := m.TxnTrace(); tb != nil {
+						tb.Reset()
+					}
 					return 1
 				})
 				c.Store(goFlag, 1)
@@ -293,7 +314,14 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 			wall = d
 		}
 	}
-	return RunMetrics{WallCycles: wall, Stats: machine.Stats, CacheStats: machine.Caches, Trace: tb}, nil
+	return RunMetrics{
+		WallCycles: wall,
+		Stats:      machine.Stats,
+		CacheStats: machine.Caches,
+		Telem:      machine.Telem,
+		Trace:      tb,
+		TxnTrace:   xb,
+	}, nil
 }
 
 // runMicro executes the Fig 15 microbenchmark kernel single-threaded. A
@@ -325,9 +353,17 @@ func runMicro(scheme string, loadPct, loadReuse int, o Options) RunMetrics {
 			}
 		}
 		runTxns(4) // warmup: fill caches, settle the mode controller
+		c.Step(func(m *sim.Machine) uint64 {
+			m.Stats.Reset()
+			m.Telem.Reset()
+			if tb := m.TxnTrace(); tb != nil {
+				tb.Reset()
+			}
+			return 1
+		})
 		start := c.Clock()
 		runTxns(o.MicroTxns)
 		wall = c.Clock() - start
 	})
-	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Telem: machine.Telem}
 }

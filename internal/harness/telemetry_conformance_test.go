@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/telemetry"
+)
+
+// telemetryPlans builds the multicore contention figure (fig18) with
+// transaction tracing enabled — the configuration with the richest mix of
+// schemes, abort causes and mode switches.
+func telemetryPlans(workers int) []*Plan {
+	o := QuickOptions()
+	o.TxnTraceMax = telemetry.DefaultTraceLimit
+	plans := []*Plan{planFig18(o)}
+	Execute(plans, ExecConfig{Workers: workers})
+	return plans
+}
+
+// Telemetry is part of the determinism contract: per-cell counter totals,
+// gauge high-water marks and the per-transaction event sequence must be
+// identical whether cells ran serially or on eight workers.
+func TestTelemetryIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := telemetryPlans(1)
+	parallel := telemetryPlans(8)
+	for pi, sp := range serial {
+		pp := parallel[pi]
+		for ci, sc := range sp.Cells {
+			pc := pp.Cells[ci]
+			id := sc.Figure + "/" + sc.Label
+			st, pt := sc.Metrics(), pc.Metrics()
+			if !reflect.DeepEqual(st.Telem.Totals(), pt.Telem.Totals()) {
+				t.Errorf("%s: telemetry totals differ:\n-j1: %+v\n-j8: %+v",
+					id, st.Telem.Totals(), pt.Telem.Totals())
+			}
+			if !reflect.DeepEqual(st.Stats.Totals(), pt.Stats.Totals()) {
+				t.Errorf("%s: stats totals differ", id)
+			}
+			if !reflect.DeepEqual(st.TxnTrace.Events(), pt.TxnTrace.Events()) {
+				t.Errorf("%s: transaction event traces differ (-j1: %d events, -j8: %d events)",
+					id, st.TxnTrace.Len(), pt.TxnTrace.Len())
+			}
+		}
+	}
+}
+
+// Every abort must be attributed to exactly one cause: for each scheme the
+// per-cause abort counters must sum to the independently counted abort
+// events in the transaction trace, and every traced cause must be a known
+// cause name.
+func TestAbortCausesSumToTotalAborts(t *testing.T) {
+	known := map[string]bool{}
+	for _, c := range stats.AbortCauses() {
+		known[c.String()] = true
+	}
+
+	o := QuickOptions()
+	o.TxnTraceMax = telemetry.DefaultTraceLimit
+	cases := []struct {
+		scheme string
+		cores  int
+	}{
+		{SchemeSeq, 1},
+		{SchemeLock, 2},
+		{SchemeSTM, 2},
+		{SchemeHASTM, 2},
+		{SchemeCautious, 2},
+		{SchemeNoReuse, 2},
+		{SchemeNaive, 2},
+		{SchemeHyTM, 2},
+		{SchemeHTM, 2},
+	}
+	for _, tc := range cases {
+		m, err := RunOne(tc.scheme, WorkloadBST, tc.cores, o, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.scheme, err)
+		}
+		if m.TxnTrace.Dropped() != 0 {
+			t.Fatalf("%s: trace dropped %d events; the cross-check needs the full trace",
+				tc.scheme, m.TxnTrace.Dropped())
+		}
+
+		tot := m.Stats.Totals()
+		var byCause uint64
+		for cause, n := range tot.Aborts {
+			if !known[cause] {
+				t.Errorf("%s: stats report unknown abort cause %q", tc.scheme, cause)
+			}
+			byCause += n
+		}
+		if byCause != tot.TotalAborts() {
+			t.Errorf("%s: per-cause aborts sum to %d, TotalAborts = %d",
+				tc.scheme, byCause, tot.TotalAborts())
+		}
+
+		var traced uint64
+		for _, ev := range m.TxnTrace.Events() {
+			if ev.Kind != telemetry.EvAbort {
+				continue
+			}
+			traced++
+			if !known[ev.Cause] {
+				t.Errorf("%s: abort event with unknown cause %q", tc.scheme, ev.Cause)
+			}
+		}
+		if traced != tot.TotalAborts() {
+			t.Errorf("%s: trace has %d abort events, counters report %d aborts",
+				tc.scheme, traced, tot.TotalAborts())
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
 	"hastm.dev/hastm/internal/stm"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/tm"
 )
 
@@ -169,6 +170,8 @@ type Thread struct {
 	cur     *txnState
 	backoff *tm.Backoff
 	depth   int
+	txnSeq  uint64 // per-thread transaction id, stable across retries
+	attempt int
 }
 
 var (
@@ -192,10 +195,15 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		defer func() { t.depth-- }()
 		return body(t)
 	}
+	t.txnSeq++
 	for attempt := 0; ; attempt++ {
+		t.attempt = attempt
 		if t.sw != nil && attempt >= t.sys.maxAttempts {
 			t.stats().HTMFallbacks++
+			t.ctx.Telem().Inc(telemetry.HTMFallbacks)
 			t.ctx.TraceEvent("fallback", "hardware attempts exhausted; software transaction")
+			t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: attempt,
+				Kind: telemetry.EvFallback, Cause: "attempts-exhausted"})
 			return t.sw.Atomic(body)
 		}
 		err, outcome := t.try(body)
@@ -210,6 +218,9 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		case outcomeRetrySW:
 			// Retry/orElse need software semantics immediately.
 			t.stats().HTMFallbacks++
+			t.ctx.Telem().Inc(telemetry.HTMFallbacks)
+			t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: attempt,
+				Kind: telemetry.EvFallback, Cause: "retry-semantics"})
 			return t.sw.Atomic(body)
 		case outcomeAborted:
 			t.ctx.TraceEvent("htm-abort", "")
@@ -239,10 +250,12 @@ func (t *Thread) try(body func(tm.Txn) error) (err error, out outcome) {
 		switch a := r.(type) {
 		case nil:
 		case hwAbort:
+			t.emitAbort(a.cause)
 			t.end()
 			t.stats().Aborts[a.cause]++
 			err, out = nil, outcomeAborted
 		case hwUserAbort:
+			t.emitAbort(stats.AbortExplicit)
 			t.end()
 			t.stats().Aborts[stats.AbortExplicit]++
 			err, out = nil, outcomeUserAbort
@@ -261,19 +274,48 @@ func (t *Thread) try(body func(tm.Txn) error) (err error, out outcome) {
 	err = body(t)
 	if err != nil {
 		// Roll back by discarding the speculative buffer.
+		t.emitAbort(stats.AbortExplicit)
 		t.end()
 		t.stats().Aborts[stats.AbortExplicit]++
 		return err, outcomeBodyErr
 	}
 	if !t.commit() {
 		cause := t.cur.cause
+		t.emitAbort(cause)
 		t.end()
 		t.stats().Aborts[cause]++
 		return nil, outcomeAborted
 	}
+	t.observeSetSizes()
+	t.ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.attempt))
+	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+		Kind: telemetry.EvCommit, Reads: len(t.cur.reads), Writes: len(t.cur.writes)})
 	t.endCommitted()
 	t.stats().Commits++
 	return nil, outcomeCommit
+}
+
+// observeSetSizes raises the hardware read/write-set high-water marks to
+// the current transaction's footprint.
+func (t *Thread) observeSetSizes() {
+	if t.cur == nil {
+		return
+	}
+	b := t.ctx.Telem()
+	b.ObserveMax(telemetry.ReadSetHWM, uint64(len(t.cur.reads)))
+	b.ObserveMax(telemetry.WriteSetHWM, uint64(len(t.cur.writes)))
+}
+
+// emitAbort records an abort event (with the doomed attempt's footprint)
+// before end() discards the speculative state.
+func (t *Thread) emitAbort(cause stats.AbortCause) {
+	t.observeSetSizes()
+	var r, w int
+	if t.cur != nil {
+		r, w = len(t.cur.reads), len(t.cur.writes)
+	}
+	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+		Kind: telemetry.EvAbort, Cause: cause.String(), Reads: r, Writes: w})
 }
 
 type retryUnsupported struct{}
@@ -281,6 +323,7 @@ type retryUnsupported struct{}
 func (t *Thread) begin() {
 	txn := newTxnState()
 	t.cur = txn
+	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt, Kind: telemetry.EvBegin})
 	prev := t.ctx.SetCat(stats.HTM)
 	t.ctx.Step(func(m *sim.Machine) uint64 {
 		t.sys.mgr.active[t.ctx.ID()] = txn

@@ -13,6 +13,7 @@ import (
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/tm"
 )
 
@@ -83,6 +84,7 @@ func (t *lockThread) acquire() {
 		}
 		ctx.Exec(2)
 		if ok, _ := ctx.CAS(t.sys.lock, 0, 1); ok {
+			ctx.Telem().Inc(telemetry.LockAcquires)
 			t.backoff.Reset()
 			return
 		}

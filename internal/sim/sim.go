@@ -21,6 +21,7 @@ import (
 	"hastm.dev/hastm/internal/cache"
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/telemetry"
 )
 
 // Latencies is the additive timing model, in cycles.
@@ -129,11 +130,13 @@ type Machine struct {
 	Mem    *mem.Memory
 	Caches *cache.Hierarchy
 	Stats  *stats.Machine
+	Telem  *telemetry.Machine
 
-	cores  []*Ctx
-	events chan event
-	ran    bool
-	trace  *TraceBuffer
+	cores    []*Ctx
+	events   chan event
+	ran      bool
+	trace    *TraceBuffer
+	txnTrace *telemetry.TraceBuffer
 }
 
 type event struct {
@@ -163,6 +166,7 @@ func New(cfg Config) *Machine {
 			Prefetch:       cfg.Prefetch,
 		}),
 		Stats:  stats.NewMachine(cfg.Cores),
+		Telem:  telemetry.NewMachine(cfg.Cores),
 		events: make(chan event),
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -171,6 +175,7 @@ func New(cfg Config) *Machine {
 			id:     i,
 			resume: make(chan struct{}),
 			cat:    stats.App,
+			telem:  m.Telem.Block(i),
 		})
 	}
 	m.Caches.AddDropListener(markDropper{m})
@@ -269,7 +274,8 @@ type Ctx struct {
 	accessTick uint64
 	rfoRng     uint64
 
-	cat stats.Category
+	cat   stats.Category
+	telem *telemetry.Block
 }
 
 // ID returns the core number.
@@ -280,6 +286,11 @@ func (c *Ctx) Clock() uint64 { return c.clock }
 
 // Machine returns the owning machine.
 func (c *Ctx) Machine() *Machine { return c.m }
+
+// Telem returns this core's telemetry block. Only this core's program
+// goroutine may write to it (one simulated core, one writer), which is what
+// lets the block use plain, non-atomic increments.
+func (c *Ctx) Telem() *telemetry.Block { return c.telem }
 
 // SetCat switches the stats category subsequent cycles are attributed to
 // and returns the previous category, enabling the push/pop idiom:

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"hastm.dev/hastm/internal/telemetry"
 )
 
 // TraceEvent is one timestamped record of TM activity, for debugging and
@@ -96,4 +98,25 @@ func (c *Ctx) TraceEvent(kind, detail string) {
 		return
 	}
 	b.add(TraceEvent{Cycle: c.clock, Core: c.id, Kind: kind, Detail: detail})
+}
+
+// SetTxnTrace attaches a per-transaction JSONL event buffer to the machine
+// (hastm-bench -trace); nil detaches it. Attach before Run.
+func (m *Machine) SetTxnTrace(b *telemetry.TraceBuffer) { m.txnTrace = b }
+
+// TxnTrace returns the attached transaction-event buffer, or nil.
+func (m *Machine) TxnTrace() *telemetry.TraceBuffer { return m.txnTrace }
+
+// EmitTxn records one transaction life-cycle event, stamping it with this
+// core's id and clock. Free (no simulated cost) and a no-op without an
+// attached buffer; the nil check is the entire disabled-path cost, so TM
+// engines can emit unconditionally.
+func (c *Ctx) EmitTxn(ev telemetry.TxnEvent) {
+	b := c.m.txnTrace
+	if b == nil {
+		return
+	}
+	ev.Core = c.id
+	ev.Cycle = c.clock
+	b.Add(ev)
 }

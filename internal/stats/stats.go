@@ -63,13 +63,24 @@ func Categories() []Category {
 	return out
 }
 
-// AbortCause classifies transaction aborts.
+// AbortCause classifies transaction aborts. The software-conflict causes
+// are split the way the paper's analysis needs them split: a read-set
+// validation failure (§3.2/§4 — some record a transaction read changed
+// version underneath it) is a different phenomenon from a write-lock
+// conflict (contention management gave up waiting for a record another
+// transaction owns), and the aggressive-mode mark-counter abort (§6) is a
+// third thing entirely — not a data conflict at all, merely the loss of
+// the ability to prove there wasn't one.
 type AbortCause int
 
 const (
-	// AbortConflict is a true data conflict detected by validation or an
-	// ownership check.
-	AbortConflict AbortCause = iota
+	// AbortValidation is a read-set validation failure: a logged
+	// transaction record no longer holds the version recorded at read time.
+	AbortValidation AbortCause = iota
+	// AbortLockConflict is an ownership (write-lock) conflict: the
+	// contention policy exhausted its patience waiting for a record owned
+	// exclusively by another transaction.
+	AbortLockConflict
 	// AbortAggressive is an aggressive-mode commit failure: the mark
 	// counter was non-zero, so the unlogged read set could not be trusted.
 	AbortAggressive
@@ -84,12 +95,26 @@ const (
 	numAbortCauses
 )
 
+// NumAbortCauses is the number of distinct abort causes, for code that
+// iterates the full taxonomy.
+const NumAbortCauses = int(numAbortCauses)
+
+// AbortCauses lists every cause in display order.
+func AbortCauses() []AbortCause {
+	out := make([]AbortCause, numAbortCauses)
+	for i := range out {
+		out[i] = AbortCause(i)
+	}
+	return out
+}
+
 var abortNames = [numAbortCauses]string{
-	AbortConflict:    "conflict",
-	AbortAggressive:  "aggressive-markctr",
-	AbortCapacity:    "htm-capacity",
-	AbortHTMConflict: "htm-conflict",
-	AbortExplicit:    "explicit",
+	AbortValidation:   "read-validation",
+	AbortLockConflict: "lock-conflict",
+	AbortAggressive:   "aggressive-markctr",
+	AbortCapacity:     "htm-capacity",
+	AbortHTMConflict:  "htm-conflict",
+	AbortExplicit:     "explicit",
 }
 
 func (a AbortCause) String() string {
@@ -97,6 +122,13 @@ func (a AbortCause) String() string {
 		return abortNames[a]
 	}
 	return fmt.Sprintf("AbortCause(%d)", int(a))
+}
+
+// IsConflict reports whether the cause is a true software data conflict
+// (validation failure or lock conflict) — the causes contention management
+// backs off for.
+func (a AbortCause) IsConflict() bool {
+	return a == AbortValidation || a == AbortLockConflict
 }
 
 // Core accumulates per-core statistics.
@@ -202,6 +234,12 @@ func (m *Machine) TotalAborts() uint64 {
 	return t
 }
 
+// ConflictAborts sums the true software data conflicts (validation
+// failures plus lock conflicts) over every core.
+func (m *Machine) ConflictAborts() uint64 {
+	return m.Aborts(AbortValidation) + m.Aborts(AbortLockConflict)
+}
+
 // Breakdown returns the fraction of total cycles per category, skipping
 // empty categories, sorted by descending share.
 func (m *Machine) Breakdown() []CategoryShare {
@@ -224,14 +262,27 @@ func (m *Machine) Breakdown() []CategoryShare {
 // Totals is a machine-wide counter summary in a JSON-friendly shape: maps
 // keyed by category/cause name instead of positional arrays, zero entries
 // omitted, so emitted benchmark records stay readable and stable as
-// categories are added.
+// categories are added. Since schema hastm-bench/2 it carries the full
+// counter set of Core, not a hand-picked subset.
 type Totals struct {
-	Cycles          map[string]uint64 `json:"cycles,omitempty"`
-	Commits         uint64            `json:"commits,omitempty"`
-	Aborts          map[string]uint64 `json:"aborts,omitempty"`
-	FilteredReads   uint64            `json:"filtered_reads,omitempty"`
-	FastValidations uint64            `json:"fast_validations,omitempty"`
-	WaitCycles      uint64            `json:"wait_cycles,omitempty"`
+	Cycles  map[string]uint64 `json:"cycles,omitempty"`
+	Commits uint64            `json:"commits,omitempty"`
+	Aborts  map[string]uint64 `json:"aborts,omitempty"`
+	Retries uint64            `json:"retries,omitempty"`
+
+	FilteredReads   uint64 `json:"filtered_reads,omitempty"`
+	UnfilteredReads uint64 `json:"unfiltered_reads,omitempty"`
+	FastValidations uint64 `json:"fast_validations,omitempty"`
+	FullValidations uint64 `json:"full_validations,omitempty"`
+	ReadsLogged     uint64 `json:"reads_logged,omitempty"`
+	ReadLogsSkipped uint64 `json:"read_logs_skipped,omitempty"`
+	FilteredWrites  uint64 `json:"filtered_writes,omitempty"`
+	UndoLogsSkipped uint64 `json:"undo_logs_skipped,omitempty"`
+
+	AggressiveCommits uint64 `json:"aggressive_commits,omitempty"`
+	CautiousCommits   uint64 `json:"cautious_commits,omitempty"`
+	HTMFallbacks      uint64 `json:"htm_fallbacks,omitempty"`
+	WaitCycles        uint64 `json:"wait_cycles,omitempty"`
 }
 
 // Totals aggregates every core's counters into the JSON-friendly summary.
@@ -254,11 +305,32 @@ func (m *Machine) Totals() Totals {
 		}
 	}
 	for i := range m.Cores {
-		t.FilteredReads += m.Cores[i].FilteredReads
-		t.FastValidations += m.Cores[i].FastValidations
-		t.WaitCycles += m.Cores[i].WaitCycles
+		c := &m.Cores[i]
+		t.Retries += c.Retries
+		t.FilteredReads += c.FilteredReads
+		t.UnfilteredReads += c.UnfilteredReads
+		t.FastValidations += c.FastValidations
+		t.FullValidations += c.FullValidations
+		t.ReadsLogged += c.ReadsLogged
+		t.ReadLogsSkipped += c.ReadLogsSkipped
+		t.FilteredWrites += c.FilteredWrites
+		t.UndoLogsSkipped += c.UndoLogsSkipped
+		t.AggressiveCommits += c.AggressiveCommits
+		t.CautiousCommits += c.CautiousCommits
+		t.HTMFallbacks += c.HTMFallbacks
+		t.WaitCycles += c.WaitCycles
 	}
 	return t
+}
+
+// TotalAborts sums the Aborts map — the serialised view's abort total,
+// which conformance tests check against Machine.TotalAborts.
+func (t Totals) TotalAborts() uint64 {
+	var n uint64
+	for _, v := range t.Aborts {
+		n += v
+	}
+	return n
 }
 
 // CategoryShare is one row of Breakdown.

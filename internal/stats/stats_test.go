@@ -62,14 +62,17 @@ func TestBreakdownSharesSumToOne(t *testing.T) {
 
 func TestAbortAccounting(t *testing.T) {
 	m := NewMachine(2)
-	m.Cores[0].Aborts[AbortConflict] = 3
+	m.Cores[0].Aborts[AbortValidation] = 3
 	m.Cores[1].Aborts[AbortAggressive] = 2
 	m.Cores[1].Commits = 5
 	if m.TotalAborts() != 5 {
 		t.Fatalf("TotalAborts = %d", m.TotalAborts())
 	}
-	if m.Aborts(AbortConflict) != 3 {
-		t.Fatalf("Aborts(conflict) = %d", m.Aborts(AbortConflict))
+	if m.Aborts(AbortValidation) != 3 {
+		t.Fatalf("Aborts(validation) = %d", m.Aborts(AbortValidation))
+	}
+	if m.ConflictAborts() != 3 {
+		t.Fatalf("ConflictAborts = %d", m.ConflictAborts())
 	}
 	if m.Commits() != 5 {
 		t.Fatalf("Commits = %d", m.Commits())

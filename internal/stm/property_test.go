@@ -6,7 +6,6 @@ import (
 
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/sim"
-	"hastm.dev/hastm/internal/stats"
 	"hastm.dev/hastm/internal/tm"
 )
 
@@ -221,7 +220,7 @@ func TestValidationDetectsStaleRead(t *testing.T) {
 	if attempts < 2 {
 		t.Fatalf("stale read committed without re-execution (attempts=%d)", attempts)
 	}
-	if machine.Stats.Aborts(stats.AbortConflict) == 0 {
+	if machine.Stats.ConflictAborts() == 0 {
 		t.Fatal("no conflict abort recorded")
 	}
 }

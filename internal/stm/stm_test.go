@@ -578,7 +578,7 @@ func TestPeriodicValidationAborts(t *testing.T) {
 		c.Store(sync, 2)
 	}
 	machine.Run(reader, writer)
-	if machine.Stats.Aborts(stats.AbortConflict) == 0 {
+	if machine.Stats.ConflictAborts() == 0 {
 		t.Fatal("expected at least one conflict abort from periodic validation")
 	}
 	if machine.Stats.Commits() < 2 {

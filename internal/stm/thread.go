@@ -5,6 +5,7 @@ import (
 
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/tm"
 )
 
@@ -75,6 +76,7 @@ type Thread struct {
 	backoff            *tm.Backoff
 	readsSinceValidate int
 	attempt            int
+	txnSeq             uint64 // per-thread transaction id, stable across retries
 	inTxn              bool
 }
 
@@ -96,6 +98,10 @@ func (t *Thread) Config() tm.Config { return t.sys.cfg }
 
 // Attempt returns the current attempt number (0 = first execution).
 func (t *Thread) Attempt() int { return t.attempt }
+
+// TxnSeq returns the per-thread id of the current (or most recent)
+// top-level transaction; it stays stable across that transaction's retries.
+func (t *Thread) TxnSeq() uint64 { return t.txnSeq }
 
 // Desc returns the simulated address of the transaction descriptor.
 func (t *Thread) Desc() uint64 { return t.desc }
@@ -120,6 +126,7 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		return t.nestedAtomic(body)
 	}
 	t.attempt = 0
+	t.txnSeq++
 	t.watch = t.watch[:0]
 	for {
 		t.begin()
@@ -139,12 +146,18 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 			}
 			t.afterAbort(cause)
 		case userAbortSignal:
+			t.observeSetSizes()
+			t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+				Kind: telemetry.EvAbort, Cause: stats.AbortExplicit.String(),
+				Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 			t.rollbackAll()
 			t.Stats().Aborts[stats.AbortExplicit]++
 			t.finish(false)
 			return tm.ErrUserAbort
 		case retrySignal:
 			t.ctx.TraceEvent("retry", fmt.Sprintf("watching %d records", len(t.watch)+len(t.reads)))
+			t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+				Kind: telemetry.EvRetry, Reads: len(t.reads), Writes: len(t.writes)})
 			t.watchReadsFrom(0)
 			t.rollbackAll()
 			t.Stats().Retries++
@@ -171,9 +184,23 @@ func (t *Thread) finish(committed bool) {
 	t.inTxn = false
 }
 
+// observeSetSizes raises the log-pressure high-water marks to the current
+// set sizes; called at transaction end points, where the sets have reached
+// their peak for the attempt.
+func (t *Thread) observeSetSizes() {
+	b := t.ctx.Telem()
+	b.ObserveMax(telemetry.ReadSetHWM, uint64(len(t.reads)))
+	b.ObserveMax(telemetry.WriteSetHWM, uint64(len(t.writes)))
+	b.ObserveMax(telemetry.UndoLogHWM, uint64(len(t.undo)))
+}
+
 // afterAbort rolls back and prepares the next attempt.
 func (t *Thread) afterAbort(cause stats.AbortCause) {
 	t.ctx.TraceEvent("abort", cause.String())
+	t.observeSetSizes()
+	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+		Kind: telemetry.EvAbort, Cause: cause.String(),
+		Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 	t.rollbackAll()
 	t.Stats().Aborts[cause]++
 	if t.accel != nil {
@@ -181,7 +208,7 @@ func (t *Thread) afterAbort(cause stats.AbortCause) {
 	}
 	t.inTxn = false
 	t.attempt++
-	if cause == stats.AbortConflict {
+	if cause.IsConflict() {
 		t.backoff.Wait(t.ctx)
 	}
 }
@@ -201,7 +228,7 @@ func (t *Thread) runBody(body func(tm.Txn) error) (err error, sig interface{}) {
 			sig = r
 		default:
 			if !t.readsConsistent() {
-				sig = abortSignal{stats.AbortConflict}
+				sig = abortSignal{stats.AbortValidation}
 				return
 			}
 			panic(r)
@@ -235,6 +262,7 @@ func (t *Thread) begin() {
 
 	ctx := t.ctx
 	ctx.TraceEvent("begin", fmt.Sprintf("attempt=%d", t.attempt))
+	ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt, Kind: telemetry.EvBegin})
 	// The inlined barriers keep the descriptor in a register (Fig 4), so
 	// TLS is charged once per transaction, at begin.
 	prev := ctx.SetCat(stats.TLS)
@@ -261,6 +289,11 @@ func (t *Thread) commitTxn() (bool, stats.AbortCause) {
 		ctx.Exec(8) // commit bookkeeping
 		t.Stats().Commits++
 		ctx.TraceEvent("commit", fmt.Sprintf("reads=%d writes=%d", len(t.reads), len(t.writes)))
+		t.observeSetSizes()
+		ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.attempt))
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+			Kind: telemetry.EvCommit,
+			Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 	}
 	ctx.SetCat(prev)
 	return ok, cause
@@ -299,7 +332,7 @@ func (t *Thread) validate(atCommit bool) (bool, stats.AbortCause) {
 				continue // we own it and acquired it at the version we read
 			}
 		}
-		return false, stats.AbortConflict
+		return false, stats.AbortValidation
 	}
 	return true, 0
 }
@@ -492,7 +525,7 @@ func (t *Thread) Abort() {
 // injection in tests).
 func (t *Thread) AbortConflictForTest() {
 	t.requireTxn()
-	panic(abortSignal{stats.AbortConflict})
+	panic(abortSignal{stats.AbortValidation})
 }
 
 // --- Introspection / suspension ---------------------------------------------
@@ -785,5 +818,5 @@ func (t *Thread) handleContention(rec uint64) uint64 {
 			return v
 		}
 	}
-	panic(abortSignal{stats.AbortConflict})
+	panic(abortSignal{stats.AbortLockConflict})
 }

@@ -1,0 +1,208 @@
+// Package telemetry is the TM stack's event-accounting subsystem: a typed
+// taxonomy of transactional events (mode transitions, barrier outcomes,
+// mark-counter observations, log high-water marks) recorded into
+// per-thread, cache-line-padded counter blocks with plain (non-atomic)
+// increments on the hot path, merged only at report time.
+//
+// The simulated-cycle attribution and the abort-cause bookkeeping live in
+// package stats (they predate this package and the whole test suite reads
+// them); telemetry adds the counters the paper's analysis needs on top —
+// the cautious/aggressive mode controller's decisions (§6), the watermark
+// value that triggered them, and the log pressure that explains
+// capacity-driven behaviour. Both stores share the same discipline: one
+// writer per simulated core, no atomics, deterministic totals.
+//
+// The package also provides the per-transaction JSONL event trace behind
+// `hastm-bench -trace` (see trace.go) and the mutex-guarded line writer
+// that keeps concurrent progress/trace output from interleaving.
+package telemetry
+
+import "fmt"
+
+// Counter is one monotonically increasing event count.
+type Counter int
+
+const (
+	// ModeSwitchAggressive counts cautious->aggressive transitions by the
+	// HASTM mode controller (§6).
+	ModeSwitchAggressive Counter = iota
+	// ModeSwitchCautious counts aggressive->cautious transitions (including
+	// the forced fallback re-execution after an aggressive abort).
+	ModeSwitchCautious
+	// MarkCounterNonZero counts validations that observed a non-zero mark
+	// counter: a marked line was evicted, snooped or discarded by a ring
+	// transition since the transaction began (§3, Fig 6).
+	MarkCounterNonZero
+	// AggressiveAttempts counts transaction attempts begun in aggressive
+	// mode (read-set logging elided, Fig 8/9).
+	AggressiveAttempts
+	// CautiousAttempts counts transaction attempts begun in cautious mode.
+	CautiousAttempts
+	// LockAcquires counts coarse-lock critical-section entries in the lock
+	// baseline.
+	LockAcquires
+	// HTMFallbacks counts hybrid transactions that abandoned hardware
+	// execution for the software path.
+	HTMFallbacks
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	ModeSwitchAggressive: "mode_switch_aggressive",
+	ModeSwitchCautious:   "mode_switch_cautious",
+	MarkCounterNonZero:   "mark_counter_nonzero",
+	AggressiveAttempts:   "aggressive_attempts",
+	CautiousAttempts:     "cautious_attempts",
+	LockAcquires:         "lock_acquires",
+	HTMFallbacks:         "htm_fallbacks",
+}
+
+func (c Counter) String() string {
+	if c >= 0 && int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("Counter(%d)", int(c))
+}
+
+// Gauge is a high-water mark: merged by maximum, per thread and at report
+// time.
+type Gauge int
+
+const (
+	// ReadSetHWM is the largest read-set (logged reads) any transaction
+	// reached.
+	ReadSetHWM Gauge = iota
+	// WriteSetHWM is the largest write-set any transaction reached.
+	WriteSetHWM
+	// UndoLogHWM is the largest undo log any transaction reached.
+	UndoLogHWM
+	// RetryDepthHWM is the largest attempt index any transaction needed
+	// before committing (0 = every transaction committed first try).
+	RetryDepthHWM
+	// WatermarkPPM is the mode controller's decayed failure rate, in parts
+	// per million, observed at mode-transition points — the watermark value
+	// that triggered the switch.
+	WatermarkPPM
+	numGauges
+)
+
+var gaugeNames = [numGauges]string{
+	ReadSetHWM:    "read_set_hwm",
+	WriteSetHWM:   "write_set_hwm",
+	UndoLogHWM:    "undo_log_hwm",
+	RetryDepthHWM: "retry_depth_hwm",
+	WatermarkPPM:  "watermark_ppm",
+}
+
+func (g Gauge) String() string {
+	if g >= 0 && int(g) < len(gaugeNames) {
+		return gaugeNames[g]
+	}
+	return fmt.Sprintf("Gauge(%d)", int(g))
+}
+
+// blockPayloadWords is the number of counter+gauge words in a Block.
+const blockPayloadWords = int(numCounters) + int(numGauges)
+
+// blockPadWords rounds the block up to a multiple of 8 words (64 bytes) so
+// adjacent threads' blocks never share a cache line.
+const blockPadWords = (8 - blockPayloadWords%8) % 8
+
+// Block is one thread's counter block. All mutation happens from that
+// thread (one simulated core == one writer), so increments are plain adds:
+// no atomics, no locks, nothing on the hot path but an indexed add. The
+// trailing padding keeps blocks on distinct cache lines inside a Machine's
+// slice, so one core's telemetry writes never false-share with another's.
+type Block struct {
+	counts [numCounters]uint64
+	gauges [numGauges]uint64
+	_      [blockPadWords]uint64
+}
+
+// Inc adds one to a counter.
+func (b *Block) Inc(c Counter) { b.counts[c]++ }
+
+// Add adds n to a counter.
+func (b *Block) Add(c Counter, n uint64) { b.counts[c] += n }
+
+// Count returns a counter's current value.
+func (b *Block) Count(c Counter) uint64 { return b.counts[c] }
+
+// ObserveMax raises a gauge to v if v exceeds its current value.
+func (b *Block) ObserveMax(g Gauge, v uint64) {
+	if v > b.gauges[g] {
+		b.gauges[g] = v
+	}
+}
+
+// GaugeValue returns a gauge's current value.
+func (b *Block) GaugeValue(g Gauge) uint64 { return b.gauges[g] }
+
+// Machine holds one padded block per simulated thread.
+type Machine struct {
+	blocks []Block
+}
+
+// NewMachine returns telemetry storage for n threads.
+func NewMachine(n int) *Machine { return &Machine{blocks: make([]Block, n)} }
+
+// Block returns thread i's block.
+func (m *Machine) Block(i int) *Block { return &m.blocks[i] }
+
+// Reset zeroes every block, e.g. at the end of a warmup phase.
+func (m *Machine) Reset() {
+	for i := range m.blocks {
+		m.blocks[i] = Block{}
+	}
+}
+
+// Count sums one counter over every block.
+func (m *Machine) Count(c Counter) uint64 {
+	var t uint64
+	for i := range m.blocks {
+		t += m.blocks[i].counts[c]
+	}
+	return t
+}
+
+// GaugeMax returns the maximum of one gauge over every block.
+func (m *Machine) GaugeMax(g Gauge) uint64 {
+	var t uint64
+	for i := range m.blocks {
+		if v := m.blocks[i].gauges[g]; v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// Totals is the report-time merge of every block, in a JSON-friendly shape:
+// maps keyed by event name, zero entries omitted, so emitted records stay
+// readable and stable as events are added. Counters sum across threads;
+// gauges merge by maximum.
+type Totals struct {
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	Gauges   map[string]uint64 `json:"gauges,omitempty"`
+}
+
+// Totals merges every block.
+func (m *Machine) Totals() Totals {
+	var t Totals
+	for c := Counter(0); c < numCounters; c++ {
+		if v := m.Count(c); v > 0 {
+			if t.Counters == nil {
+				t.Counters = make(map[string]uint64)
+			}
+			t.Counters[c.String()] = v
+		}
+	}
+	for g := Gauge(0); g < numGauges; g++ {
+		if v := m.GaugeMax(g); v > 0 {
+			if t.Gauges == nil {
+				t.Gauges = make(map[string]uint64)
+			}
+			t.Gauges[g.String()] = v
+		}
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TxnEvent is one line of the per-transaction JSONL event trace: the
+// transactional life-cycle (begin, abort with cause, commit, retry-wait,
+// software fallback, mode switch) stamped with the emitting core's clock,
+// a per-thread transaction id and the attempt (retry) index. Set sizes are
+// carried on terminal events so analysis can bucket by footprint.
+type TxnEvent struct {
+	Cell   string `json:"cell,omitempty"` // experiment cell label (added by the harness)
+	Core   int    `json:"core"`
+	Cycle  uint64 `json:"cycle"`
+	Txn    uint64 `json:"txn"`   // per-core transaction sequence number
+	Retry  int    `json:"retry"` // attempt index, 0 = first execution
+	Kind   string `json:"ev"`    // "begin", "commit", "abort", "retry", "fallback", "mode"
+	Cause  string `json:"cause,omitempty"`
+	Reads  int    `json:"reads,omitempty"`
+	Writes int    `json:"writes,omitempty"`
+	Undo   int    `json:"undo,omitempty"`
+}
+
+// Trace event kinds.
+const (
+	EvBegin    = "begin"
+	EvCommit   = "commit"
+	EvAbort    = "abort"
+	EvRetry    = "retry"
+	EvFallback = "fallback"
+	EvMode     = "mode"
+)
+
+// TraceBuffer collects transaction events from every core of one machine.
+// Appends are mutex-protected: core goroutines emit between scheduler
+// grants, so two cores' emissions can race in host time even though
+// simulated time is serialised. When full, further events are dropped and
+// counted, bounding memory on long runs.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	events  []TxnEvent
+	limit   int
+	dropped uint64
+}
+
+// DefaultTraceLimit is the event cap used when NewTraceBuffer gets 0.
+const DefaultTraceLimit = 1 << 16
+
+// NewTraceBuffer creates a buffer holding at most limit events (0 = 64k).
+func NewTraceBuffer(limit int) *TraceBuffer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &TraceBuffer{limit: limit}
+}
+
+// Add appends one event, dropping it if the buffer is full.
+func (b *TraceBuffer) Add(ev TxnEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.events) >= b.limit {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, ev)
+}
+
+// Events returns the collected events in canonical order: ascending
+// (cycle, core), ties broken by per-core emission order. Raw append order
+// is host-scheduling dependent — core goroutines emit between simulator
+// grants, so two cores' appends can race in host time even though each
+// core's event CONTENT (clocks, causes, set sizes) is fully deterministic.
+// A stable sort on the deterministic content therefore yields the same
+// sequence on every run and every worker count. Per-core program order is
+// preserved: a core's clock never decreases, and the stable sort keeps
+// equal-keyed events in append order, which is program order within one
+// core. (If the buffer overflowed, WHICH events were dropped is
+// host-dependent; keep the cap above the workload's event count when
+// byte-stable output matters.)
+func (b *TraceBuffer) Events() []TxnEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TxnEvent, len(b.events))
+	copy(out, b.events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}
+
+// Len returns the number of collected events.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Reset discards all collected events and the drop count. The harness
+// calls it at the post-warmup barrier so the trace describes exactly the
+// same measured window as the statistics and telemetry counters.
+func (b *TraceBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = b.events[:0]
+	b.dropped = 0
+}
+
+// Dropped returns how many events were discarded after the buffer filled.
+func (b *TraceBuffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// WriteJSONL writes every collected event as one JSON object per line,
+// stamping each with the given cell label. The write happens under the
+// SyncWriter's lock as a single atomic block, so traces from concurrently
+// finishing cells never interleave within a line or within a cell.
+func (b *TraceBuffer) WriteJSONL(w *SyncWriter, cell string) error {
+	events := b.Events()
+	return w.WriteBlock(func(out io.Writer) error {
+		enc := json.NewEncoder(out)
+		for i := range events {
+			events[i].Cell = cell
+			if err := enc.Encode(&events[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// SyncWriter serialises whole-line (and whole-block) writes to an
+// underlying writer. hastm-bench routes both -progress lines and -trace
+// JSONL through one of these so concurrent workers can never interleave
+// output mid-line — the bug class this type exists to make impossible.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Printf formats one line (the caller supplies the trailing newline) and
+// writes it atomically with respect to every other Printf and WriteBlock.
+func (s *SyncWriter) Printf(format string, args ...interface{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, format, args...)
+}
+
+// WriteBlock runs f with exclusive, buffered access to the underlying
+// writer: everything f writes is flushed as one contiguous block.
+func (s *SyncWriter) WriteBlock(f func(io.Writer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(s.w)
+	if err := f(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
