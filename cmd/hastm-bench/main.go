@@ -11,6 +11,12 @@
 //	hastm-bench -progress     # per-cell progress on stderr
 //	hastm-bench -trace t.jsonl  # per-transaction JSONL event trace
 //	hastm-bench -list         # list experiment ids
+//	hastm-bench -faults suspend=900,evict=600,seed=3
+//	                          # fault-injection conformance sweep instead
+//	                          # of figures: every scheme × structure runs
+//	                          # under the injected fault mix and is checked
+//	                          # against the sequential oracle (exit 1 on
+//	                          # any violation)
 //
 // Reports go to stdout, diagnostics (progress, timing) to stderr. Every
 // simulation cell runs on its own private simulated machine, so reports
@@ -28,9 +34,50 @@ import (
 	"strings"
 	"time"
 
+	"hastm.dev/hastm/internal/faults"
 	"hastm.dev/hastm/internal/harness"
 	"hastm.dev/hastm/internal/telemetry"
 )
+
+// faultCores is the simulated core count of every cell in the -faults
+// sweep: enough for real contention, small enough that the full scheme ×
+// structure matrix stays quick.
+const faultCores = 4
+
+// runFaultstorm runs the fault-injection conformance sweep and prints one
+// verdict row per scheme/structure cell. Stdout is derived entirely from
+// simulated state, so it is byte-identical for every -j value; the exit
+// code is 1 if any cell failed its invariants or the sequential oracle.
+func runFaultstorm(spec faults.Spec, o harness.Options, workers int, progress bool) int {
+	plan, reports := harness.FaultPlan(spec, o, faultCores)
+	cfg := harness.ExecConfig{Workers: workers}
+	if progress {
+		cfg.ProgressSync = telemetry.NewSyncWriter(os.Stderr)
+	}
+	start := time.Now()
+	harness.Execute([]*harness.Plan{plan}, cfg)
+	elapsed := time.Since(start)
+
+	fmt.Printf("faultstorm: %s (cores %d, ops %d, workload seed %d)\n\n", spec, faultCores, o.Ops, o.Seed)
+	fmt.Printf("%-25s %9s %9s %-40s %16s  %s\n",
+		"cell", "committed", "injected", "faults", "schedule-hash", "verdict")
+	failures := 0
+	for _, rep := range reports {
+		if rep.Err != "" {
+			failures++
+		}
+		fmt.Printf("%-25s %9d %9d %-40s %016x  %s\n",
+			rep.Scheme+"/"+rep.Workload, rep.Committed, rep.ScheduleLen,
+			rep.InjectedString(), rep.ScheduleHash, rep.Verdict())
+	}
+	fmt.Printf("\nfaultstorm: %d cells, %d failed\n", len(reports), failures)
+	fmt.Fprintf(os.Stderr, "hastm-bench: faultstorm %d cells in %v (-j %d)\n",
+		len(reports), elapsed.Round(time.Millisecond), workers)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
 
 func main() {
 	var (
@@ -46,6 +93,7 @@ func main() {
 		traceF   = flag.String("trace", "", "write a per-transaction JSONL event trace to this file ('-' = stderr)")
 		traceMax = flag.Int("trace-max", telemetry.DefaultTraceLimit, "per-cell transaction-event cap for -trace")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		faultsF  = flag.String("faults", "", "run the fault-injection conformance sweep with this spec (e.g. suspend=900,evict=600,seed=3)")
 	)
 	flag.Parse()
 
@@ -69,6 +117,15 @@ func main() {
 	o.Seed = *seed
 	if *traceF != "" {
 		o.TxnTraceMax = *traceMax
+	}
+
+	if *faultsF != "" {
+		spec, err := faults.ParseSpec(*faultsF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(runFaultstorm(spec, o, *workers, *progress))
 	}
 
 	specs := harness.All()

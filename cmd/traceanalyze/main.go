@@ -16,6 +16,7 @@
 // Usage:
 //
 //	traceanalyze trace.jsonl     # analyse a hastm-bench -trace file
+//	traceanalyze -strict t.jsonl # also fail unless every begin is terminated
 //	traceanalyze -top 5 t.jsonl  # show the 5 most abort-heavy cells
 //	traceanalyze                 # the 12 workload profiles (Fig 13)
 //	traceanalyze -structures     # also measure hashtable/BST/B-tree
@@ -43,6 +44,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "deterministic seed (Fig 13 mode)")
 		structures = flag.Bool("structures", false, "also measure the TM data structures (Fig 13 mode)")
 		top        = flag.Int("top", 10, "cells shown in the per-cell summary (JSONL mode; 0 = all)")
+		strict     = flag.Bool("strict", false, "JSONL mode: assert trace completeness (every begin reaches a terminal event)")
 	)
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 	if flag.NArg() == 1 {
-		if err := analyzeJSONL(flag.Arg(0), *top); err != nil {
+		if err := analyzeJSONL(flag.Arg(0), *top, *strict); err != nil {
 			fmt.Fprintf(os.Stderr, "traceanalyze: %v\n", err)
 			os.Exit(1)
 		}
@@ -88,13 +90,75 @@ func printResult(r traces.Result) {
 
 // cellStat accumulates one experiment cell's transaction outcomes.
 type cellStat struct {
-	begins, commits, aborts, retries, fallbacks, modes uint64
+	begins, commits, aborts, retries, fallbacks, modes, errors uint64
+}
+
+// strictChecker verifies trace completeness: every begin must reach
+// exactly one terminal event (commit, abort, retry, error — or a
+// fallback, which may also arrive with no begin pending when a hybrid
+// scheme falls back after exhausting hardware attempts). State is
+// tracked per (cell, core): a core runs one attempt at a time, and
+// cells are independent machines.
+type strictChecker struct {
+	// pending maps a (cell, core) stream to the line number of its
+	// unterminated begin (0 = none pending).
+	pending    map[string]int
+	violations []string
+}
+
+func streamKey(cell string, core int) string { return fmt.Sprintf("%s\x00%d", cell, core) }
+
+func (s *strictChecker) observe(ev *telemetry.TxnEvent, path string, lineNo int) {
+	key := streamKey(ev.Cell, ev.Core)
+	switch ev.Kind {
+	case telemetry.EvBegin:
+		if at := s.pending[key]; at != 0 {
+			s.violations = append(s.violations,
+				fmt.Sprintf("%s:%d: begin while the begin at line %d is unterminated (cell %q, core %d)",
+					path, lineNo, at, ev.Cell, ev.Core))
+		}
+		s.pending[key] = lineNo
+	case telemetry.EvCommit, telemetry.EvAbort, telemetry.EvRetry, telemetry.EvError:
+		if s.pending[key] == 0 {
+			s.violations = append(s.violations,
+				fmt.Sprintf("%s:%d: %s with no begin pending (cell %q, core %d)",
+					path, lineNo, ev.Kind, ev.Cell, ev.Core))
+		}
+		s.pending[key] = 0
+	case telemetry.EvFallback:
+		// Terminates a pending hardware attempt if there is one; an
+		// attempts-exhausted fallback legitimately arrives without one.
+		s.pending[key] = 0
+	case telemetry.EvMode:
+		// Informational; not part of the attempt life-cycle.
+	}
+}
+
+func (s *strictChecker) finish(path string) {
+	type dangling struct {
+		key  string
+		line int
+	}
+	var left []dangling
+	for key, at := range s.pending {
+		if at != 0 {
+			left = append(left, dangling{key, at})
+		}
+	}
+	sort.Slice(left, func(i, j int) bool { return left[i].line < left[j].line })
+	for _, d := range left {
+		cell, core, _ := strings.Cut(d.key, "\x00")
+		s.violations = append(s.violations,
+			fmt.Sprintf("%s:%d: begin never terminated (cell %q, core %s)", path, d.line, cell, core))
+	}
 }
 
 // analyzeJSONL reads a hastm-bench -trace file and prints the abort-cause
 // breakdown, the retry-depth histogram and per-cell summaries. Any line
-// that is not a valid transaction event is an error.
-func analyzeJSONL(path string, top int) error {
+// that is not a valid transaction event is an error. With strict set, it
+// additionally runs the trace through a per-(cell, core) begin/terminal
+// state machine and fails on any incomplete or unpaired attempt.
+func analyzeJSONL(path string, top int, strict bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -110,6 +174,7 @@ func analyzeJSONL(path string, top int) error {
 		maxDepth   int
 		cells      = map[string]*cellStat{}
 		cellOrder  []string
+		checker    = &strictChecker{pending: map[string]int{}}
 	)
 
 	sc := bufio.NewScanner(f)
@@ -129,12 +194,16 @@ func analyzeJSONL(path string, top int) error {
 		}
 		switch ev.Kind {
 		case telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
-			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode:
+			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode,
+			telemetry.EvError:
 		default:
 			return fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, ev.Kind)
 		}
 		if ev.Retry < 0 {
 			return fmt.Errorf("%s:%d: negative retry index %d", path, lineNo, ev.Retry)
+		}
+		if strict {
+			checker.observe(&ev, path, lineNo)
 		}
 
 		total++
@@ -167,6 +236,8 @@ func analyzeJSONL(path string, top int) error {
 			cs.fallbacks++
 		case telemetry.EvMode:
 			cs.modes++
+		case telemetry.EvError:
+			cs.errors++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -180,7 +251,7 @@ func analyzeJSONL(path string, top int) error {
 
 	fmt.Println("event kinds:")
 	for _, k := range []string{telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
-		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode} {
+		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode, telemetry.EvError} {
 		if n := kinds[k]; n > 0 {
 			fmt.Printf("  %-10s %8d\n", k, n)
 		}
@@ -236,6 +307,18 @@ func analyzeJSONL(path string, top int) error {
 	}
 	if len(shown) < len(cellOrder) {
 		fmt.Printf("  ... %d more cells (-top 0 for all)\n", len(cellOrder)-len(shown))
+	}
+
+	if strict {
+		checker.finish(path)
+		if n := len(checker.violations); n > 0 {
+			fmt.Println("\nstrict: trace completeness violations:")
+			for _, v := range checker.violations {
+				fmt.Printf("  %s\n", v)
+			}
+			return fmt.Errorf("strict: %d trace completeness violation(s)", n)
+		}
+		fmt.Println("\nstrict: ok — every begin reached a terminal event")
 	}
 	return nil
 }

@@ -459,6 +459,43 @@ func (h *Hierarchy) SpeculativeRFO(thread int, lineAddr uint64) {
 	h.invalidateOthers(thread, lineAddr)
 }
 
+// EvictLine forces the line containing addr out of the thread's L1, as a
+// set-pressure capacity eviction would, and reports whether a resident
+// line was actually dropped. The L2 copy survives (a forced L1 eviction
+// models associativity pressure, not data loss), so a re-access hits L2.
+// Fault injection uses this to exercise mark-bit loss at chosen points.
+func (h *Hierarchy) EvictLine(thread int, addr uint64) bool {
+	la := mem.LineAddr(addr)
+	l1idx := thread / h.tpc
+	w := h.l1[l1idx].lookup(la)
+	if w == nil {
+		return false
+	}
+	h.drop(l1idx, w, DropEvict, thread)
+	return true
+}
+
+// BackInvalidateLine forces the line containing addr out of the shared L2
+// and — by inclusion — out of every L1, exactly what an L2 victimisation
+// does ("one core accidentally kicking out marked cache lines of another
+// core", §7.4), and returns how many L1 copies were dropped. Fault
+// injection uses this as an on-demand snoop/back-invalidation.
+func (h *Hierarchy) BackInvalidateLine(addr uint64) int {
+	la := mem.LineAddr(addr)
+	n := 0
+	for c := range h.l1 {
+		if w := h.l1[c].lookup(la); w != nil {
+			h.drop(c, w, DropBackInvalidate, -1)
+			n++
+		}
+	}
+	if w2 := h.l2.lookup(la); w2 != nil {
+		w2.st = invalid
+		w2.mark = [MaxSMT]MarkMasks{}
+	}
+	return n
+}
+
 // invalidateOthers removes la from every L1 except the writer's.
 func (h *Hierarchy) invalidateOthers(writer int, la uint64) {
 	own := writer / h.tpc

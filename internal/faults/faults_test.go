@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"hastm.dev/hastm/internal/cache"
+	"hastm.dev/hastm/internal/sim"
+)
+
+func testMachine(cores int) *sim.Machine {
+	cfg := sim.DefaultConfig(cores)
+	cfg.L1 = cache.Config{SizeBytes: 4 << 10, Assoc: 2}
+	cfg.L2 = cache.Config{SizeBytes: 64 << 10, Assoc: 4}
+	return sim.New(cfg)
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec("suspend=600, evict=900,snoop=1300,htmabort=1500,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{SuspendEvery: 600, EvictEvery: 900, SnoopEvery: 1300, HTMAbortEvery: 1500, Seed: 3}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+	again, err := ParseSpec(s.String())
+	if err != nil || again != s {
+		t.Fatalf("round trip: %+v, %v", again, err)
+	}
+	if !s.Enabled() {
+		t.Fatal("spec with rates should be enabled")
+	}
+	if (Spec{Seed: 9}).Enabled() {
+		t.Fatal("seed-only spec should be disabled")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{"suspend", "suspend=x", "frob=3"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): want error", bad)
+		}
+	}
+}
+
+// workload runs a fixed loop of loads/stores over a small array on each
+// core, enough grants to trigger every configured fault kind.
+func workload(m *sim.Machine, cores int, ops int) {
+	base := m.Mem.Alloc(64*64, 64)
+	progs := make([]sim.Program, cores)
+	for i := 0; i < cores; i++ {
+		progs[i] = func(c *sim.Ctx) {
+			for j := 0; j < ops; j++ {
+				addr := base + uint64((j*7+c.ID()*13)%64)*64
+				c.Load(addr)
+				if j%3 == 0 {
+					c.Store(addr, uint64(j))
+				}
+				c.Exec(2)
+			}
+		}
+	}
+	m.Run(progs...)
+}
+
+func TestInjectionsFireAndAreSeeded(t *testing.T) {
+	spec := Spec{SuspendEvery: 200, EvictEvery: 150, SnoopEvery: 250, Seed: 7}
+	run := func() *Plane {
+		m := testMachine(2)
+		p := Attach(m, spec)
+		workload(m, 2, 800)
+		return p
+	}
+	p1, p2 := run(), run()
+	for _, k := range []Kind{KindSuspend, KindEvict, KindSnoop} {
+		if p1.Count(k) == 0 {
+			t.Errorf("%s: no injections fired", k)
+		}
+	}
+	if p1.Count(KindHTMAbort) != 0 {
+		t.Errorf("htmabort fired with a zero rate")
+	}
+	if p1.ScheduleHash() != p2.ScheduleHash() {
+		t.Fatalf("same spec, different schedules: %x vs %x", p1.ScheduleHash(), p2.ScheduleHash())
+	}
+	if !reflect.DeepEqual(p1.Events(), p2.Events()) {
+		t.Fatal("same spec, different event logs")
+	}
+
+	m3 := testMachine(2)
+	p3 := Attach(m3, Spec{SuspendEvery: 200, EvictEvery: 150, SnoopEvery: 250, Seed: 8})
+	workload(m3, 2, 800)
+	if p3.ScheduleHash() == p1.ScheduleHash() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// A plane with all rates zero must not perturb timing: wall cycles with
+// and without the hook installed are identical.
+func TestDisabledPlaneIsTimingNeutral(t *testing.T) {
+	wall := func(attach bool) uint64 {
+		m := testMachine(2)
+		if attach {
+			Attach(m, Spec{Seed: 5})
+		}
+		base := m.Mem.Alloc(64*64, 64)
+		progs := make([]sim.Program, 2)
+		for i := 0; i < 2; i++ {
+			progs[i] = func(c *sim.Ctx) {
+				for j := 0; j < 400; j++ {
+					c.Load(base + uint64((j*5+c.ID())%64)*64)
+					c.Exec(1)
+				}
+			}
+		}
+		m.Run(progs...)
+		return m.Core(0).Clock()
+	}
+	if a, b := wall(false), wall(true); a != b {
+		t.Fatalf("disabled fault plane changed timing: %d vs %d cycles", a, b)
+	}
+}
+
+func TestHTMAborterSkippedWithoutTarget(t *testing.T) {
+	m := testMachine(1)
+	p := Attach(m, Spec{HTMAbortEvery: 50, Seed: 1})
+	p.RegisterHTMAborter(func(core int) bool { return false })
+	workload(m, 1, 400)
+	if p.Count(KindHTMAbort) != 0 {
+		t.Fatal("htmabort recorded despite aborter reporting no target")
+	}
+	if p.Skipped() == 0 {
+		t.Fatal("expected skipped injections to be counted")
+	}
+}
+
+// The fault plane rides the hot acquire() path of every simulated
+// operation; this benchmark gates its per-grant overhead.
+func BenchmarkFaultPlaneOnGrant(b *testing.B) {
+	b.ReportAllocs()
+	m := testMachine(1)
+	p := Attach(m, Spec{SuspendEvery: 1 << 60, EvictEvery: 1 << 60, SnoopEvery: 1 << 60, Seed: 3})
+	base := m.Mem.Alloc(64, 64)
+	m.Run(func(c *sim.Ctx) {
+		c.Load(base)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.OnGrant(c)
+		}
+	})
+}

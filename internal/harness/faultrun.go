@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"hastm.dev/hastm/internal/faults"
+	"hastm.dev/hastm/internal/htm"
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/workloads"
+)
+
+// FaultReport is the outcome of one fault-injected conformance run: what
+// was injected, what the run committed, and whether the final structure
+// state survived the sequential-oracle check. Every field is derived from
+// simulated state, so two runs of the same configuration produce
+// DeepEqual reports regardless of host scheduling — the property the
+// faultstorm determinism test asserts.
+type FaultReport struct {
+	Scheme   string
+	Workload string
+	Cores    int
+
+	Committed    int               // operations that committed (and were logged)
+	Injected     map[string]uint64 // fault counts by kind name
+	Skipped      uint64            // due injections that found no target
+	ScheduleLen  int
+	ScheduleHash uint64
+
+	RunFingerprint uint64
+	Totals         stats.Totals
+
+	Err string // "" = invariants and oracle both passed
+}
+
+// Verdict renders the oracle outcome for tables.
+func (r FaultReport) Verdict() string {
+	if r.Err == "" {
+		return "ok"
+	}
+	return "FAIL: " + r.Err
+}
+
+// InjectedString renders the injected-fault counts in fixed kind order
+// (deterministic, unlike iterating the Injected map).
+func (r FaultReport) InjectedString() string {
+	var parts []string
+	for _, k := range []string{"suspend", "evict", "snoop", "htmabort"} {
+		if n := r.Injected[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// FaultSchemes returns the scheme matrix of the faultstorm suite: the
+// lock baseline plus every TM scheme (software, both HASTM modes,
+// hardware, hybrid).
+func FaultSchemes() []string {
+	return []string{SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious, SchemeHTM, SchemeHyTM}
+}
+
+// FaultedRun executes one scheme/workload configuration with the fault
+// plane attached and every committed operation logged, then verifies the
+// final structure state against its invariants and the sequential-oracle
+// replay. Oracle and invariant failures are reported in FaultReport.Err
+// (not as the error return, which covers configuration problems), so a
+// sweep can collect all verdicts.
+func FaultedRun(scheme, workload string, cores int, o Options, spec faults.Spec, updatePct int) (FaultReport, error) {
+	rep := FaultReport{Scheme: scheme, Workload: workload, Cores: cores}
+	if err := validateConfig(scheme, workload, cores); err != nil {
+		return rep, err
+	}
+
+	machine := machineForISA(cores, o.DefaultISA)
+	plane := faults.Attach(machine, spec)
+	sys := buildExtScheme(scheme, machine, cores)
+	if hs, ok := sys.(*htm.System); ok {
+		plane.RegisterHTMAborter(hs.Manager().InjectSpuriousAbort)
+	}
+	ds := buildStructure(workload, machine.Mem, o)
+	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
+
+	per := o.Ops / cores
+	if per == 0 {
+		per = 1
+	}
+	log := workloads.NewOpLog()
+	runErrs := make([]error, cores)
+	progs := make([]sim.Program, cores)
+	for i := range progs {
+		id := i
+		progs[i] = func(c *sim.Ctx) {
+			th := sys.Thread(c)
+			cfg := workloads.DriverConfig{Ops: per, UpdatePercent: updatePct, Seed: o.Seed}
+			runErrs[id] = workloads.RunThreadRecorded(th, ds, cfg, log)
+		}
+	}
+	machine.Run(progs...)
+
+	rep.Committed = log.Len()
+	rep.Injected = plane.Counts()
+	rep.Skipped = plane.Skipped()
+	rep.ScheduleLen = len(plane.Events())
+	rep.ScheduleHash = plane.ScheduleHash()
+	rep.Totals = machine.Stats.Totals()
+
+	for id, err := range runErrs {
+		if err != nil {
+			rep.Err = fmt.Sprintf("thread %d: %v", id, err)
+			return rep, nil
+		}
+	}
+	orep, err := workloads.VerifyOracle(ds, machine.Mem,
+		func(m2 *mem.Memory) workloads.DataStructure { return buildStructure(workload, m2, o) },
+		o.Seed, log)
+	rep.RunFingerprint = orep.RunFingerprint
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	return rep, nil
+}
+
+// FaultPlan builds the faultstorm sweep — every FaultSchemes scheme × the
+// three §7.1 structures under spec — as a Plan whose cells run on the
+// standard worker pool. Verdicts land in the returned slots, in cell
+// declaration order; the Plan's Assemble produces no figure report.
+func FaultPlan(spec faults.Spec, o Options, cores int) (*Plan, []*FaultReport) {
+	p := newPlan("faultstorm")
+	var reports []*FaultReport
+	for _, scheme := range FaultSchemes() {
+		for _, workload := range Workloads() {
+			slot := &FaultReport{}
+			reports = append(reports, slot)
+			s, w := scheme, workload
+			p.cell(fmt.Sprintf("%s/%s/%d", s, w, cores), func() RunMetrics {
+				rep, err := FaultedRun(s, w, cores, o, spec, 20)
+				if err != nil {
+					rep.Err = err.Error()
+				}
+				*slot = rep
+				return RunMetrics{}
+			})
+		}
+	}
+	p.Assemble = func() *Report { return nil }
+	return p, reports
+}

@@ -4,8 +4,10 @@ import (
 	"reflect"
 	"testing"
 
+	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
 	"hastm.dev/hastm/internal/telemetry"
+	"hastm.dev/hastm/internal/tm"
 )
 
 // telemetryPlans builds the multicore contention figure (fig18) with
@@ -43,6 +45,126 @@ func TestTelemetryIdenticalAcrossWorkerCounts(t *testing.T) {
 					id, st.TxnTrace.Len(), pt.TxnTrace.Len())
 			}
 		}
+	}
+}
+
+// errTestBody is the sentinel failure TestBodyErrorEmitsTerminalEvent's
+// transaction body returns.
+var errTestBody = errTest("body failed")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// The retry path must feed the same accounting as the abort path: every
+// EvRetry event carries the waiting attempt's full (reads, writes, undo)
+// footprint, and the set-size high-water marks observe retry attempts —
+// historically both silently skipped the retry case.
+func TestRetryEventsCarryFootprint(t *testing.T) {
+	machine := machineFor(2)
+	xb := telemetry.NewTraceBuffer(0)
+	machine.SetTxnTrace(xb)
+	sys := buildScheme(SchemeSTM, machine, 2)
+	flag := machine.Mem.Alloc(64, 64)
+	s1 := machine.Mem.Alloc(64, 64)
+	s2 := machine.Mem.Alloc(64, 64)
+	ack := machine.Mem.Alloc(64, 64)
+
+	machine.Run(
+		func(c *sim.Ctx) {
+			// Consumer: the waiting attempt writes two records (two undo
+			// entries) before retrying — a larger footprint than any
+			// committing transaction in this run, so only the retry path
+			// can raise the high-water marks to 2.
+			th := sys.Thread(c)
+			if err := th.Atomic(func(tx tm.Txn) error {
+				if tx.Load(flag) == 0 {
+					tx.Store(s1, 1)
+					tx.Store(s2, 1)
+					tx.Retry()
+				}
+				tx.Store(ack, 1)
+				return nil
+			}); err != nil {
+				panic(err)
+			}
+		},
+		func(c *sim.Ctx) {
+			th := sys.Thread(c)
+			c.Exec(3000)
+			if err := th.Atomic(func(tx tm.Txn) error { tx.Store(flag, 1); return nil }); err != nil {
+				panic(err)
+			}
+		})
+
+	if machine.Mem.Load(ack) != 1 {
+		t.Fatal("consumer never completed")
+	}
+	retries := 0
+	for _, ev := range xb.Events() {
+		if ev.Kind != telemetry.EvRetry {
+			continue
+		}
+		retries++
+		if ev.Reads == 0 || ev.Writes != 2 || ev.Undo != 2 {
+			t.Errorf("retry event missing footprint: reads=%d writes=%d undo=%d (want reads>0, writes=2, undo=2)",
+				ev.Reads, ev.Writes, ev.Undo)
+		}
+	}
+	if retries == 0 {
+		t.Fatal("no retry events traced; the consumer never waited")
+	}
+	if hwm := machine.Telem.GaugeMax(telemetry.WriteSetHWM); hwm < 2 {
+		t.Errorf("WriteSetHWM = %d; the retrying attempt's 2-record write set was not observed", hwm)
+	}
+	if hwm := machine.Telem.GaugeMax(telemetry.UndoLogHWM); hwm < 2 {
+		t.Errorf("UndoLogHWM = %d; the retrying attempt's 2-entry undo log was not observed", hwm)
+	}
+}
+
+// A transaction body that fails with an error must still terminate its
+// trace: the begin pairs with an EvError terminal (not an abort — the
+// abort counters and traced abort events stay in 1:1 correspondence).
+func TestBodyErrorEmitsTerminalEvent(t *testing.T) {
+	machine := machineFor(1)
+	xb := telemetry.NewTraceBuffer(0)
+	machine.SetTxnTrace(xb)
+	sys := buildScheme(SchemeSTM, machine, 1)
+	cell := machine.Mem.Alloc(64, 64)
+
+	machine.Run(func(c *sim.Ctx) {
+		th := sys.Thread(c)
+		err := th.Atomic(func(tx tm.Txn) error {
+			tx.Store(cell, 42)
+			return errTestBody
+		})
+		if err != errTestBody {
+			panic("body error not surfaced")
+		}
+	})
+
+	var begins, errors int
+	for _, ev := range xb.Events() {
+		switch ev.Kind {
+		case telemetry.EvBegin:
+			begins++
+		case telemetry.EvError:
+			errors++
+			if ev.Undo != 1 || ev.Writes != 1 {
+				t.Errorf("error event missing footprint: writes=%d undo=%d", ev.Writes, ev.Undo)
+			}
+		case telemetry.EvAbort:
+			t.Errorf("body error traced as abort (cause %q); it must not count as one", ev.Cause)
+		}
+	}
+	if begins != 1 || errors != 1 {
+		t.Errorf("begin/error events = %d/%d, want 1/1 (dangling begin breaks per-txn accounting)", begins, errors)
+	}
+	if machine.Mem.Load(cell) != 0 {
+		t.Error("failed body's store was not rolled back")
+	}
+	if machine.Stats.TotalAborts() != 0 {
+		t.Errorf("body error counted as abort (%d)", machine.Stats.TotalAborts())
 	}
 }
 

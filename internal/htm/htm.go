@@ -90,6 +90,21 @@ func (m *Manager) LineDropped(core int, lineAddr uint64, marks cache.MarkMasks, 
 	}
 }
 
+// InjectSpuriousAbort dooms the core's in-flight hardware transaction as
+// a capacity (spurious) abort — the fault plane's model of an interrupt,
+// TLB shootdown or other non-conflict event that real HTMs surface as an
+// abort. Reports whether an undoomed transaction was actually hit, so the
+// injector can count effective faults. Must be called while holding the
+// simulator grant (e.g. from a sim.FaultHook).
+func (m *Manager) InjectSpuriousAbort(core int) bool {
+	t := m.active[core]
+	if t == nil || t.aborted {
+		return false
+	}
+	t.doom(stats.AbortCapacity)
+	return true
+}
+
 // LineRead aborts the owner of a speculatively written line when another
 // core reads it (requester-wins resolution; retry backoff prevents
 // livelock).
@@ -115,6 +130,10 @@ type System struct {
 }
 
 var _ tm.System = (*System)(nil)
+
+// Manager exposes the per-machine HTM state, letting a fault injector
+// target the active hardware transactions.
+func (s *System) Manager() *Manager { return s.mgr }
 
 // NewHTM creates the pure hardware TM (no software coordination, no
 // fallback — Atomic spins with backoff until the hardware commits).

@@ -137,6 +137,25 @@ type Machine struct {
 	ran      bool
 	trace    *TraceBuffer
 	txnTrace *telemetry.TraceBuffer
+	fault    FaultHook
+}
+
+// FaultHook observes every scheduler grant and may perturb the machine —
+// suspend the granted core, evict or back-invalidate cache lines, doom a
+// hardware transaction. OnGrant runs on the granted core's goroutine while
+// it holds the grant, so the hook has exclusive access to all machine
+// state and fires at a deterministic point of the global operation order.
+type FaultHook interface {
+	OnGrant(c *Ctx)
+}
+
+// SetFaultHook installs (or, with nil, removes) the machine's fault hook.
+// Must be called before Run.
+func (m *Machine) SetFaultHook(h FaultHook) {
+	if m.ran {
+		panic("sim: SetFaultHook after Run")
+	}
+	m.fault = h
 }
 
 type event struct {
@@ -310,19 +329,44 @@ func (c *Ctx) charge(cycles uint64) {
 }
 
 // acquire blocks until the scheduler grants this core the next operation,
-// then applies any pending ring transition.
+// then applies any pending ring transition and runs the fault hook.
 func (c *Ctx) acquire() {
 	<-c.resume
 	if iv := c.m.cfg.InterruptEvery; iv > 0 && (c.clock-c.lastInterrupt) >= iv {
 		c.lastInterrupt = c.clock
 		// The interrupt path executes resetmarkall before resuming (§5).
-		for plane := 0; plane < cache.NumMarkPlanes; plane++ {
-			c.m.Caches.ClearAllMarks(c.id, plane)
-			c.bumpMarkCounter(plane)
-		}
-		c.charge(c.m.cfg.Lat.RingTransition)
+		c.ringTransitionNow()
+	}
+	if h := c.m.fault; h != nil {
+		h.OnGrant(c)
 	}
 }
+
+// ringTransitionNow is the architectural effect of an OS transition,
+// applied while already holding the grant: discard all marks on every
+// plane, bump the mark counters, pay the transition cost. Shared by the
+// InterruptEvery path, RingTransition, and fault-hook suspensions.
+func (c *Ctx) ringTransitionNow() {
+	for plane := 0; plane < cache.NumMarkPlanes; plane++ {
+		if !c.m.cfg.DefaultISA {
+			c.m.Caches.ClearAllMarks(c.id, plane)
+		}
+		c.bumpMarkCounter(plane)
+	}
+	c.charge(c.m.cfg.Lat.RingTransition)
+}
+
+// InjectSuspend suspends and resumes this core as a context switch would,
+// from inside a FaultHook (the caller already holds the grant): marks are
+// discarded, counters bumped, the ring-transition cost paid. The §5
+// contract is that this never aborts a transaction — HASTM merely falls
+// back to full software validation.
+func (c *Ctx) InjectSuspend() { c.ringTransitionNow() }
+
+// Cat returns the stats category cycles are currently attributed to —
+// letting a FaultHook target a transaction phase (e.g. inject only while
+// the core is validating).
+func (c *Ctx) Cat() stats.Category { return c.cat }
 
 func (c *Ctx) release() { c.m.events <- event{core: c.id} }
 
@@ -333,14 +377,21 @@ func (c *Ctx) bumpMarkCounter(plane int) {
 }
 
 // noteAccess records a demand access and, at the configured rate, issues
-// the speculative RFO. Must be called while holding the grant.
+// the speculative RFO. The recently-accessed ring is also maintained when
+// a fault hook is installed (it targets evictions/snoops at lines the
+// core actually touched); ring upkeep is host-only work and charges
+// nothing, so an all-rates-zero fault plane stays timing-neutral. Must be
+// called while holding the grant.
 func (c *Ctx) noteAccess(addr uint64) {
 	every := c.m.cfg.SpecRFOEvery
-	if every == 0 {
+	if every == 0 && c.m.fault == nil {
 		return
 	}
 	c.recent[c.recentPos&15] = addr &^ 63
 	c.recentPos++
+	if every == 0 {
+		return
+	}
 	c.accessTick++
 	if c.accessTick < every {
 		return
@@ -353,6 +404,21 @@ func (c *Ctx) noteAccess(addr uint64) {
 	}
 	target := c.recent[(c.rfoRng>>33)%uint64(n)]
 	c.m.Caches.SpeculativeRFO(c.id, target)
+}
+
+// RecentLine picks one of this core's recently accessed cache-line
+// addresses, selected by sel modulo the ring occupancy; ok is false when
+// the core has not accessed anything yet. Fault hooks use it to aim
+// evictions and snoops at lines that plausibly carry transaction state.
+func (c *Ctx) RecentLine(sel uint64) (line uint64, ok bool) {
+	n := c.recentPos
+	if n > 16 {
+		n = 16
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return c.recent[sel%uint64(n)], true
 }
 
 func (c *Ctx) accessCost(res cache.AccessResult) uint64 {
@@ -565,12 +631,6 @@ func (c *Ctx) ReadMarkCounter() uint64 { return c.ReadMarkCounterP(0) }
 // virtualization property.
 func (c *Ctx) RingTransition() {
 	c.acquire()
-	for plane := 0; plane < cache.NumMarkPlanes; plane++ {
-		if !c.m.cfg.DefaultISA {
-			c.m.Caches.ClearAllMarks(c.id, plane)
-		}
-		c.bumpMarkCounter(plane)
-	}
-	c.charge(c.m.cfg.Lat.RingTransition)
+	c.ringTransitionNow()
 	c.release()
 }

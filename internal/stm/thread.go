@@ -134,9 +134,13 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		switch s := sig.(type) {
 		case nil:
 			if err != nil {
-				// Body failure: roll back and surface the error.
-				t.rollbackAll()
-				t.finish(false)
+				// Body failure: the trace needs a terminal event (a
+				// dangling begin breaks per-transaction accounting), but
+				// the failure is not an abort — no conflict occurred and
+				// the abort counters must keep summing to the traced
+				// abort events.
+				t.ctx.TraceEvent("error", err.Error())
+				t.abandonAttempt(telemetry.EvError, BodyErrorCause)
 				return err
 			}
 			committed, cause := t.commitTxn()
@@ -146,25 +150,16 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 			}
 			t.afterAbort(cause)
 		case userAbortSignal:
-			t.observeSetSizes()
-			t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
-				Kind: telemetry.EvAbort, Cause: stats.AbortExplicit.String(),
-				Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
-			t.rollbackAll()
+			t.abandonAttempt(telemetry.EvAbort, stats.AbortExplicit.String())
 			t.Stats().Aborts[stats.AbortExplicit]++
-			t.finish(false)
 			return tm.ErrUserAbort
 		case retrySignal:
 			t.ctx.TraceEvent("retry", fmt.Sprintf("watching %d records", len(t.watch)+len(t.reads)))
-			t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
-				Kind: telemetry.EvRetry, Reads: len(t.reads), Writes: len(t.writes)})
+			// The wait set must capture the read set before the rollback
+			// truncates it.
 			t.watchReadsFrom(0)
-			t.rollbackAll()
+			t.abandonAttempt(telemetry.EvRetry, "")
 			t.Stats().Retries++
-			if t.accel != nil {
-				t.accel.End(t, false)
-			}
-			t.inTxn = false
 			t.waitForChange()
 			t.attempt++
 		case abortSignal:
@@ -172,6 +167,10 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		}
 	}
 }
+
+// BodyErrorCause is the cause string carried by the EvError trace event a
+// failed (error-returning) transaction body emits.
+const BodyErrorCause = "body-error"
 
 // finish closes out a transaction after commit or a terminal abort.
 func (t *Thread) finish(committed bool) {
@@ -194,19 +193,30 @@ func (t *Thread) observeSetSizes() {
 	b.ObserveMax(telemetry.UndoLogHWM, uint64(len(t.undo)))
 }
 
-// afterAbort rolls back and prepares the next attempt.
-func (t *Thread) afterAbort(cause stats.AbortCause) {
-	t.ctx.TraceEvent("abort", cause.String())
+// abandonAttempt is the single exit path for every non-committing end of
+// a top-level attempt: conflict abort, explicit abort, retry-wait, body
+// error. Centralising it keeps the paths from diverging again — every
+// exit records the attempt's footprint in the set-size high-water marks
+// and emits a terminal trace event carrying the full (reads, writes,
+// undo) sizes, so begins always pair with terminals and the log-pressure
+// gauges cannot silently skip retry or error attempts.
+func (t *Thread) abandonAttempt(kind, cause string) {
 	t.observeSetSizes()
 	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
-		Kind: telemetry.EvAbort, Cause: cause.String(),
+		Kind: kind, Cause: cause,
 		Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 	t.rollbackAll()
-	t.Stats().Aborts[cause]++
 	if t.accel != nil {
 		t.accel.End(t, false)
 	}
 	t.inTxn = false
+}
+
+// afterAbort rolls back and prepares the next attempt.
+func (t *Thread) afterAbort(cause stats.AbortCause) {
+	t.ctx.TraceEvent("abort", cause.String())
+	t.abandonAttempt(telemetry.EvAbort, cause.String())
+	t.Stats().Aborts[cause]++
 	t.attempt++
 	if cause.IsConflict() {
 		t.backoff.Wait(t.ctx)

@@ -20,7 +20,7 @@ type TxnEvent struct {
 	Cycle  uint64 `json:"cycle"`
 	Txn    uint64 `json:"txn"`   // per-core transaction sequence number
 	Retry  int    `json:"retry"` // attempt index, 0 = first execution
-	Kind   string `json:"ev"`    // "begin", "commit", "abort", "retry", "fallback", "mode"
+	Kind   string `json:"ev"`    // "begin", "commit", "abort", "retry", "fallback", "mode", "error"
 	Cause  string `json:"cause,omitempty"`
 	Reads  int    `json:"reads,omitempty"`
 	Writes int    `json:"writes,omitempty"`
@@ -35,6 +35,11 @@ const (
 	EvRetry    = "retry"
 	EvFallback = "fallback"
 	EvMode     = "mode"
+	// EvError terminates a transaction whose body returned an error: the
+	// attempt rolled back and will not re-execute, but nothing conflicted,
+	// so it is deliberately NOT an abort (abort counters and traced abort
+	// events must stay in one-to-one correspondence).
+	EvError = "error"
 )
 
 // TraceBuffer collects transaction events from every core of one machine.

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/tm"
 )
@@ -184,6 +186,40 @@ func (b *BST) Populate(m *mem.Memory, r *Rand) {
 			inserted++
 		}
 	}
+}
+
+// CheckInvariants walks the tree through raw memory and verifies the
+// search invariant: every node's key lies strictly inside the open
+// interval its ancestors imply, keys are within the key universe, and the
+// walk terminates (no cycles, no runaway size).
+func (b *BST) CheckInvariants(m *mem.Memory) error {
+	d := Direct{M: m}
+	visited := 0
+	var walk func(node, lo, hi uint64, hasLo, hasHi bool) error
+	walk = func(node, lo, hi uint64, hasLo, hasHi bool) error {
+		if node == 0 {
+			return nil
+		}
+		visited++
+		if visited > maxTreeSteps {
+			return fmt.Errorf("bst: walk exceeded %d nodes (cycle or corruption)", maxTreeSteps)
+		}
+		k := d.Load(node + bstKey)
+		if k >= b.keySpace {
+			return fmt.Errorf("bst: node %#x holds key %d outside key space %d", node, k, b.keySpace)
+		}
+		if hasLo && k <= lo {
+			return fmt.Errorf("bst: ordering violated at node %#x: key %d <= ancestor bound %d", node, k, lo)
+		}
+		if hasHi && k >= hi {
+			return fmt.Errorf("bst: ordering violated at node %#x: key %d >= ancestor bound %d", node, k, hi)
+		}
+		if err := walk(d.Load(node+bstLeft), lo, k, hasLo, true); err != nil {
+			return err
+		}
+		return walk(d.Load(node+bstRight), k, hi, true, hasHi)
+	}
+	return walk(d.Load(b.root), 0, 0, false, false)
 }
 
 // Op performs one BST operation.

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/tm"
 )
@@ -244,6 +246,81 @@ func (t *BTree) insertNonFull(tx tm.Txn, node, key, val uint64) bool {
 		node = child
 	}
 	return false
+}
+
+// CheckInvariants walks the tree through raw memory and verifies the
+// B-tree shape properties maintained by top-down preemptive splitting:
+// node fill within [1, btMaxKeys] (root may be emptier), keys strictly
+// increasing within a node and confined to the half-open window
+// [lo, hi) the ancestors' separators imply (equal keys descend right, so
+// the lower bound is inclusive), non-nil children on internal nodes, and
+// all leaves at the same depth.
+func (t *BTree) CheckInvariants(m *mem.Memory) error {
+	d := Direct{M: m}
+	root := d.Load(t.rootCell)
+	if root == 0 {
+		return fmt.Errorf("btree: nil root")
+	}
+	leafDepth := -1
+	visited := 0
+	var walk func(node uint64, depth int, lo, hi uint64, hasLo, hasHi bool) error
+	walk = func(node uint64, depth int, lo, hi uint64, hasLo, hasHi bool) error {
+		visited++
+		if visited > maxTreeSteps {
+			return fmt.Errorf("btree: walk exceeded %d nodes (cycle or corruption)", maxTreeSteps)
+		}
+		n, leaf := btDecode(d.Load(node + btCount))
+		if n > btMaxKeys {
+			return fmt.Errorf("btree: node %#x holds %d keys (max %d)", node, n, btMaxKeys)
+		}
+		if n == 0 && node != root {
+			return fmt.Errorf("btree: non-root node %#x is empty", node)
+		}
+		var prev uint64
+		for i := uint64(0); i < n; i++ {
+			k := d.Load(keyAddr(node, i))
+			if k >= t.keySpace {
+				return fmt.Errorf("btree: node %#x key %d outside key space %d", node, k, t.keySpace)
+			}
+			if i > 0 && k <= prev {
+				return fmt.Errorf("btree: node %#x keys out of order (%d then %d)", node, prev, k)
+			}
+			if hasLo && k < lo {
+				return fmt.Errorf("btree: node %#x key %d below ancestor bound %d", node, k, lo)
+			}
+			if hasHi && k >= hi {
+				return fmt.Errorf("btree: node %#x key %d not below ancestor bound %d", node, k, hi)
+			}
+			prev = k
+		}
+		if leaf {
+			if leafDepth < 0 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("btree: leaf %#x at depth %d, expected %d (unbalanced)", node, depth, leafDepth)
+			}
+			return nil
+		}
+		for i := uint64(0); i <= n; i++ {
+			child := d.Load(kidAddr(node, i))
+			if child == 0 {
+				return fmt.Errorf("btree: internal node %#x has nil child %d", node, i)
+			}
+			clo, cHasLo := lo, hasLo
+			if i > 0 {
+				clo, cHasLo = d.Load(keyAddr(node, i-1)), true
+			}
+			chi, cHasHi := hi, hasHi
+			if i < n {
+				chi, cHasHi = d.Load(keyAddr(node, i)), true
+			}
+			if err := walk(child, depth+1, clo, chi, cHasLo, cHasHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0, 0, 0, false, false)
 }
 
 // Populate inserts the initial keys directly.

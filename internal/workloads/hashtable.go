@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"errors"
+	"fmt"
 
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/tm"
@@ -161,6 +162,45 @@ func (h *Hashtable) Populate(m *mem.Memory, r *Rand) {
 			inserted++
 		}
 	}
+}
+
+// CheckInvariants scans the table through raw memory and verifies chain
+// membership: every occupied slot's key must be reachable along its own
+// double-hashing probe sequence without crossing an empty slot first
+// (otherwise Lookup can no longer find it), no key may occur twice, and
+// stored keys must lie in the key universe.
+func (h *Hashtable) CheckInvariants(m *mem.Memory) error {
+	d := Direct{M: m}
+	for slot := uint64(0); slot < h.slots; slot++ {
+		k := d.Load(h.keyAddr(slot))
+		if k == slotEmpty || k == slotTombstone {
+			continue
+		}
+		key := k - keyBias
+		if key >= h.keySpace {
+			return fmt.Errorf("hashtable: slot %d holds key %d outside key space %d", slot, key, h.keySpace)
+		}
+		start, stride := h.hash(key)
+		reached := false
+		for i := uint64(0); i < h.slots; i++ {
+			s := (start + i*stride) & (h.slots - 1)
+			ks := d.Load(h.keyAddr(s))
+			if s == slot {
+				reached = true
+				break
+			}
+			if ks == slotEmpty {
+				break
+			}
+			if ks == k {
+				return fmt.Errorf("hashtable: key %d stored twice (slots %d and %d)", key, s, slot)
+			}
+		}
+		if !reached {
+			return fmt.Errorf("hashtable: slot %d key %d unreachable along its probe chain", slot, key)
+		}
+	}
+	return nil
 }
 
 // Op performs one hashtable operation: a lookup, or (update) an insert or
