@@ -7,10 +7,16 @@
 //	hastm-bench -quick        # reduced sizes (seconds instead of minutes)
 //	hastm-bench -ops 4096     # override the total operation count
 //	hastm-bench -j 8          # run independent experiment cells on 8 workers
-//	hastm-bench -json         # machine-readable report (schema hastm-bench/2)
+//	hastm-bench -json         # machine-readable report (schema hastm-bench/3)
 //	hastm-bench -progress     # per-cell progress on stderr
 //	hastm-bench -trace t.jsonl  # per-transaction JSONL event trace
 //	hastm-bench -list         # list experiment ids
+//	hastm-bench -sched reference
+//	                          # run on the simulator's per-op handoff
+//	                          # scheduler instead of the grant lease
+//	                          # (identical reports, slower host time)
+//	hastm-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                          # write pprof profiles of the run
 //	hastm-bench -faults suspend=900,evict=600,seed=3
 //	                          # fault-injection conformance sweep instead
 //	                          # of figures: every scheme × structure runs
@@ -18,12 +24,14 @@
 //	                          # against the sequential oracle (exit 1 on
 //	                          # any violation)
 //
-// Reports go to stdout, diagnostics (progress, timing) to stderr. Every
-// simulation cell runs on its own private simulated machine, so reports
-// are bit-identical for every -j value: parallelism changes only the host
-// wall-clock, never the science. The -trace file is written after all
-// cells complete, in cell declaration order, so it too is byte-identical
-// for every -j value; analyse it with cmd/traceanalyze.
+// Reports go to stdout, diagnostics (progress, timing, the per-figure
+// simulation-throughput summary) to stderr. Every simulation cell runs on
+// its own private simulated machine, so reports are bit-identical for
+// every -j value and for both -sched settings: parallelism and scheduling
+// strategy change only the host wall-clock, never the science. The -trace
+// file is written after all cells complete, in cell declaration order, so
+// it too is byte-identical for every -j value; analyse it with
+// cmd/traceanalyze.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -79,7 +88,34 @@ func runFaultstorm(spec faults.Spec, o harness.Options, workers int, progress bo
 	return 0
 }
 
-func main() {
+// throughputSummary prints one stderr line per figure: total simulated
+// cycles, total host time spent in that figure's cells, and the resulting
+// simulated-cycles-per-host-second rate. Host timings are not
+// deterministic, so this goes to stderr and never perturbs stdout
+// byte-identity.
+func throughputSummary(plans []*harness.Plan) {
+	fmt.Fprintf(os.Stderr, "hastm-bench: throughput (simulated cycles / host second, per figure)\n")
+	for _, p := range plans {
+		var cycles uint64
+		var hostNS int64
+		for _, c := range p.Cells {
+			cycles += c.Metrics().WallCycles
+			hostNS += c.HostNS
+		}
+		rate := 0.0
+		if hostNS > 0 {
+			rate = float64(cycles) / (float64(hostNS) / 1e9)
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %12d cycles %10.1fms host %14.0f cyc/s\n",
+			p.ID, cycles, float64(hostNS)/1e6, rate)
+	}
+}
+
+func main() { os.Exit(realMain()) }
+
+// realMain holds the whole run so deferred cleanups (profile writers) run
+// before the process exits; main wraps it in os.Exit.
+func realMain() int {
 	var (
 		fig      = flag.String("fig", "", "run a single figure (e.g. fig16); empty = all")
 		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
@@ -94,6 +130,9 @@ func main() {
 		traceMax = flag.Int("trace-max", telemetry.DefaultTraceLimit, "per-cell transaction-event cap for -trace")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		faultsF  = flag.String("faults", "", "run the fault-injection conformance sweep with this spec (e.g. suspend=900,evict=600,seed=3)")
+		schedF   = flag.String("sched", "lease", "simulator scheduler: lease (grant-lease fast path) or reference (per-op handoff)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -104,7 +143,37 @@ func main() {
 		for _, s := range harness.Extensions() {
 			fmt.Printf("%-16s %s\n", s.ID, s.Title)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	o := harness.DefaultOptions()
@@ -118,14 +187,22 @@ func main() {
 	if *traceF != "" {
 		o.TxnTraceMax = *traceMax
 	}
+	switch *schedF {
+	case "lease":
+	case "reference":
+		o.ReferenceScheduler = true
+	default:
+		fmt.Fprintf(os.Stderr, "hastm-bench: -sched must be lease or reference, got %q\n", *schedF)
+		return 2
+	}
 
 	if *faultsF != "" {
 		spec, err := faults.ParseSpec(*faultsF)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hastm-bench: -faults: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(runFaultstorm(spec, o, *workers, *progress))
+		return runFaultstorm(spec, o, *workers, *progress)
 	}
 
 	specs := harness.All()
@@ -136,7 +213,7 @@ func main() {
 		s, ok := harness.ByID(strings.ToLower(*fig))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "hastm-bench: unknown figure %q (try -list)\n", *fig)
-			os.Exit(2)
+			return 2
 		}
 		specs = []harness.Spec{s}
 	}
@@ -168,7 +245,7 @@ func main() {
 			f, err = os.Create(*traceF)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hastm-bench: trace: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			tw = telemetry.NewSyncWriter(f)
 		}
@@ -180,7 +257,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hastm-bench: trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "hastm-bench: trace: %d events written, %d dropped\n", written, dropped)
 	}
@@ -190,13 +267,13 @@ func main() {
 		doc := harness.NewBenchJSON(o, *workers, plans, reports, elapsed)
 		if err := doc.Write(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hastm-bench: json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case *csvF:
 		for _, rep := range reports {
 			if err := rep.RenderCSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "hastm-bench: csv: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	default:
@@ -204,6 +281,8 @@ func main() {
 			rep.Render(os.Stdout)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "hastm-bench: %d experiments, %d cells in %v (-j %d)\n",
-		len(specs), cellCount, elapsed.Round(time.Millisecond), *workers)
+	throughputSummary(plans)
+	fmt.Fprintf(os.Stderr, "hastm-bench: %d experiments, %d cells in %v (-j %d, -sched %s)\n",
+		len(specs), cellCount, elapsed.Round(time.Millisecond), *workers, *schedF)
+	return 0
 }

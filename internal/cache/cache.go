@@ -124,13 +124,15 @@ type line struct {
 }
 
 type level struct {
-	cfg  Config
-	sets [][]line
-	tick uint64
+	cfg     Config
+	sets    [][]line
+	setMask uint64 // len(sets)-1; Sets() guarantees a power of two
+	tick    uint64
 }
 
 func newLevel(cfg Config) *level {
 	l := &level{cfg: cfg, sets: make([][]line, cfg.Sets())}
+	l.setMask = uint64(len(l.sets) - 1)
 	for i := range l.sets {
 		l.sets[i] = make([]line, cfg.Assoc)
 	}
@@ -138,15 +140,16 @@ func newLevel(cfg Config) *level {
 }
 
 func (l *level) set(lineAddr uint64) []line {
-	idx := (lineAddr / mem.LineSize) % uint64(len(l.sets))
-	return l.sets[idx]
+	return l.sets[(lineAddr/mem.LineSize)&l.setMask]
 }
 
-// lookup returns the way holding lineAddr, or nil.
+// lookup returns the way holding lineAddr, or nil. Iterates by index so
+// the probe — the hottest loop in the simulator — copies no line structs.
 func (l *level) lookup(lineAddr uint64) *line {
-	for i, w := range l.set(lineAddr) {
-		if w.st != invalid && w.tag == lineAddr {
-			return &l.set(lineAddr)[i]
+	set := l.set(lineAddr)
+	for i := range set {
+		if w := &set[i]; w.st != invalid && w.tag == lineAddr {
+			return w
 		}
 	}
 	return nil

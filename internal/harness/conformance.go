@@ -19,7 +19,7 @@ func FinalStateHash(scheme, workload string, cores int, o Options, updatePct int
 	if err := validateConfig(scheme, workload, cores); err != nil {
 		return 0, err
 	}
-	machine := machineForISA(cores, o.DefaultISA)
+	machine := machineFor(cores, o)
 	sys := buildExtScheme(scheme, machine, cores)
 	ds := buildStructure(workload, machine.Mem, o)
 	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))

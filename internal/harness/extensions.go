@@ -97,7 +97,7 @@ func ExtWFilter(o Options) *Report { return runSerial(planExtWFilter(o)) }
 // runMicroExt is runMicro with an explicit store-reuse rate and access to
 // the extension schemes.
 func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) RunMetrics {
-	machine := machineFor(1)
+	machine := machineFor(1, o)
 	sys := buildExtScheme(scheme, machine, 1)
 	mi := workloads.NewMicro(machine.Mem, 256)
 	mi.LoadPercent = loadPct
@@ -122,14 +122,14 @@ func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) R
 		runTxns(o.MicroTxns)
 		wall = c.Clock() - start
 	})
-	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Sched: machine.Sched()}
 }
 
 // runInterAtomic executes the Fig 10 kernel: many short read-only atomic
 // blocks over one small, stable working set. The machine's stats ride
 // along in the metrics so assembly can count cross-block filtered reads.
 func runInterAtomic(scheme string, lines uint64, o Options) RunMetrics {
-	machine := machineFor(1)
+	machine := machineFor(1, o)
 	sys := buildExtScheme(scheme, machine, 1)
 	base := machine.Mem.Alloc(lines*64, 64)
 	var wall uint64
@@ -153,7 +153,7 @@ func runInterAtomic(scheme string, lines uint64, o Options) RunMetrics {
 		warm(o.MicroTxns * 4)
 		wall = c.Clock() - start
 	})
-	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Sched: machine.Sched()}
 }
 
 func filteredReads(m RunMetrics) uint64 {
@@ -310,6 +310,7 @@ func ExtGranularity(o Options) *Report { return runSerial(planExtGranularity(o))
 // either as four full cores or as two cores with two SMT threads each.
 func runSMT(scheme string, smt bool, o Options) RunMetrics {
 	cfg := sim.DefaultConfig(4)
+	cfg.ReferenceScheduler = o.ReferenceScheduler
 	cfg.L2 = cacheConfig256K()
 	cfg.Prefetch = true
 	cfg.SpecRFOEvery = 32
@@ -331,7 +332,7 @@ func runSMT(scheme string, smt bool, o Options) RunMetrics {
 		}
 	}
 	wall := machine.Run(progs...)
-	return RunMetrics{WallCycles: wall, Stats: machine.Stats}
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Sched: machine.Sched()}
 }
 
 // fastValidationShare returns the percentage of validations answered by

@@ -77,7 +77,7 @@ func FaultedRun(scheme, workload string, cores int, o Options, spec faults.Spec,
 		return rep, err
 	}
 
-	machine := machineForISA(cores, o.DefaultISA)
+	machine := machineFor(cores, o)
 	plane := faults.Attach(machine, spec)
 	sys := buildExtScheme(scheme, machine, cores)
 	if hs, ok := sys.(*htm.System); ok {

@@ -17,18 +17,36 @@ import (
 // abort-cause taxonomy, barrier/validation/log counters) and cells gain a
 // telemetry block (mode transitions, mark-counter observations, high-water
 // marks).
-const BenchSchema = "hastm-bench/2"
+// hastm-bench/3: cells gain a scheduler block (granted ops, channel
+// handoffs, handoffs avoided by the grant lease) and a host-throughput
+// field (simulated cycles per host second), for tracking simulator speed
+// alongside simulated results.
+const BenchSchema = "hastm-bench/3"
+
+// SchedRecord is the host-side scheduler-efficiency block of a cell: how
+// many architectural ops the simulator granted and how many scheduler
+// channel round-trips they cost. handoffs_avoided is the lease's win;
+// under -sched reference it is always 0.
+type SchedRecord struct {
+	Grants          uint64 `json:"grants"`
+	Leases          uint64 `json:"leases"`
+	HandoffsAvoided uint64 `json:"handoffs_avoided"`
+}
 
 // CellRecord is the per-cell line of a benchmark run: the simulated result
 // plus the host-side cost of producing it. Simulated fields are
 // deterministic for a given (options, seed); host fields are not.
 type CellRecord struct {
-	Figure     string            `json:"figure"`
-	Label      string            `json:"label"`
-	WallCycles uint64            `json:"wall_cycles"`
-	HostMS     float64           `json:"host_ms"`
-	Stats      stats.Totals      `json:"stats,omitempty"`
-	Telemetry  *telemetry.Totals `json:"telemetry,omitempty"`
+	Figure     string  `json:"figure"`
+	Label      string  `json:"label"`
+	WallCycles uint64  `json:"wall_cycles"`
+	HostMS     float64 `json:"host_ms"`
+	// CyclesPerHostSec is the cell's simulation throughput: simulated
+	// cycles advanced per host second. Host-dependent, like HostMS.
+	CyclesPerHostSec float64           `json:"cycles_per_host_sec"`
+	Stats            stats.Totals      `json:"stats,omitempty"`
+	Telemetry        *telemetry.Totals `json:"telemetry,omitempty"`
+	Sched            *SchedRecord      `json:"sched,omitempty"`
 }
 
 // BenchJSON is the full `hastm-bench -json` document: run metadata, every
@@ -71,12 +89,22 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 				WallCycles: c.Metrics().WallCycles,
 				HostMS:     float64(c.HostNS) / 1e6,
 			}
+			if c.HostNS > 0 {
+				rec.CyclesPerHostSec = float64(c.Metrics().WallCycles) / (float64(c.HostNS) / 1e9)
+			}
 			if s := c.Metrics().Stats; s != nil {
 				rec.Stats = s.Totals()
 			}
 			if tm := c.Metrics().Telem; tm != nil {
 				if tot := tm.Totals(); tot.Counters != nil || tot.Gauges != nil {
 					rec.Telemetry = &tot
+				}
+			}
+			if sc := c.Metrics().Sched; sc.Grants > 0 {
+				rec.Sched = &SchedRecord{
+					Grants:          sc.Grants,
+					Leases:          sc.Leases,
+					HandoffsAvoided: sc.HandoffsAvoided(),
 				}
 			}
 			b.Cells = append(b.Cells, rec)

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hastm.dev/hastm/internal/faults"
+	"hastm.dev/hastm/internal/telemetry"
+)
+
+// The harness-level scheduler differential test runs full evaluation cells
+// — real TM schemes over real data structures, with telemetry and
+// transaction traces attached — under both simulator schedulers and
+// demands identical simulated results. It complements the randomized
+// program-level suite in internal/sim by covering the actual workloads the
+// figures are built from.
+
+// runBoth executes one configuration under the lease and reference
+// schedulers and returns both metric sets.
+func runBoth(t *testing.T, scheme, workload string, cores int) (lease, ref RunMetrics) {
+	t.Helper()
+	o := QuickOptions()
+	o.Ops = 192
+	o.TxnTraceMax = 4096
+	var err error
+	lease, err = RunOne(scheme, workload, cores, o, 20)
+	if err != nil {
+		t.Fatalf("lease run: %v", err)
+	}
+	o.ReferenceScheduler = true
+	ref, err = RunOne(scheme, workload, cores, o, 20)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return lease, ref
+}
+
+func txnTraceBytes(t *testing.T, tb *telemetry.TraceBuffer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteJSONL(telemetry.NewSyncWriter(&buf), "cell"); err != nil {
+		t.Fatalf("trace render: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSchedulerDifferentialHarness(t *testing.T) {
+	cases := []struct {
+		scheme, workload string
+		cores            int
+	}{
+		{SchemeHASTM, WorkloadBST, 4},
+		{SchemeHASTM, WorkloadHash, 2},
+		{SchemeSTM, WorkloadBTree, 4},
+		{SchemeLock, WorkloadHash, 4},
+		{SchemeHyTM, WorkloadBST, 2},
+		{SchemeSeq, WorkloadBTree, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scheme+"/"+tc.workload, func(t *testing.T) {
+			t.Parallel()
+			lease, ref := runBoth(t, tc.scheme, tc.workload, tc.cores)
+			if lease.WallCycles != ref.WallCycles {
+				t.Errorf("wall cycles: lease %d, reference %d", lease.WallCycles, ref.WallCycles)
+			}
+			if !reflect.DeepEqual(lease.Stats.Totals(), ref.Stats.Totals()) {
+				t.Errorf("stats totals diverge:\nlease: %+v\nreference: %+v",
+					lease.Stats.Totals(), ref.Stats.Totals())
+			}
+			if !reflect.DeepEqual(lease.Telem.Totals(), ref.Telem.Totals()) {
+				t.Errorf("telemetry totals diverge:\nlease: %+v\nreference: %+v",
+					lease.Telem.Totals(), ref.Telem.Totals())
+			}
+			lb, rb := txnTraceBytes(t, lease.TxnTrace), txnTraceBytes(t, ref.TxnTrace)
+			if !bytes.Equal(lb, rb) {
+				t.Errorf("transaction trace bytes diverge (%d vs %d bytes)", len(lb), len(rb))
+			}
+			if lease.Sched.Grants != ref.Sched.Grants {
+				t.Errorf("grants: lease %d, reference %d", lease.Sched.Grants, ref.Sched.Grants)
+			}
+			if ref.Sched.HandoffsAvoided() != 0 {
+				t.Errorf("reference scheduler avoided %d handoffs, want 0", ref.Sched.HandoffsAvoided())
+			}
+		})
+	}
+}
+
+// TestSchedulerDifferentialFaulted runs the fault-injection conformance
+// cell under both schedulers: injected faults fire on scheduler grants, so
+// this checks the lease preserves the grant stream the fault plane
+// derives its schedule from.
+func TestSchedulerDifferentialFaulted(t *testing.T) {
+	spec, err := faults.ParseSpec("suspend=900,evict=600,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := QuickOptions()
+	o.Ops = 192
+	lease, err := FaultedRun(SchemeHASTM, WorkloadBST, 4, o, spec, 20)
+	if err != nil {
+		t.Fatalf("lease faulted run: %v", err)
+	}
+	o.ReferenceScheduler = true
+	ref, err := FaultedRun(SchemeHASTM, WorkloadBST, 4, o, spec, 20)
+	if err != nil {
+		t.Fatalf("reference faulted run: %v", err)
+	}
+	if !reflect.DeepEqual(lease, ref) {
+		t.Errorf("fault reports diverge:\nlease: %+v\nreference: %+v", lease, ref)
+	}
+}

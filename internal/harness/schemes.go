@@ -41,6 +41,12 @@ type Options struct {
 	// at most this many events to every run (RunMetrics.TxnTrace); the
 	// hastm-bench -trace flag sets it.
 	TxnTraceMax int
+	// ReferenceScheduler runs every cell on the simulator's original
+	// per-operation handoff scheduler instead of the grant-lease scheduler.
+	// Simulated results are identical either way (the scheduler
+	// differential suite proves it); the switch exists for A/B host-perf
+	// measurement and as the safety net behind the fast path.
+	ReferenceScheduler bool
 }
 
 // DefaultOptions returns the full-size evaluation parameters.
@@ -68,22 +74,19 @@ func QuickOptions() Options {
 // machineFor builds the standard simulated machine of the evaluation:
 // 32 KB 8-way private L1s, a 512 KB 8-way shared inclusive L2, and the
 // next-line prefetcher that §7.4 identifies as a source of destructive
-// interference between cores.
-func machineFor(cores int) *sim.Machine { return machineForISA(cores, false) }
-
-// cacheConfig256K is the evaluation's shared-L2 geometry.
-func cacheConfig256K() cache.Config { return cache.Config{SizeBytes: 256 << 10, Assoc: 8} }
-
-func machineForISA(cores int, defaultISA bool) *sim.Machine {
+// interference between cores. o contributes only host-side and ISA-mode
+// switches (DefaultISA, ReferenceScheduler), never sizes.
+func machineFor(cores int, o Options) *sim.Machine {
 	cfg := sim.DefaultConfig(cores)
-	cfg.DefaultISA = defaultISA
+	cfg.DefaultISA = o.DefaultISA
+	cfg.ReferenceScheduler = o.ReferenceScheduler
 	cfg.L1 = cache.Config{SizeBytes: 32 << 10, Assoc: 8}
 	// The shared inclusive L2 is deliberately smaller than the combined
 	// footprint of the structures and the transaction-record table: the
 	// §7.4 destructive interference (one core's misses and prefetches
 	// back-invalidating another core's marked lines) requires L2
 	// replacement pressure to exist at all.
-	cfg.L2 = cache.Config{SizeBytes: 256 << 10, Assoc: 8}
+	cfg.L2 = cacheConfig256K()
 	// The machine is identical at every core count — baselines must not
 	// run on different hardware. The speculation noise (§7.4) only
 	// disturbs OTHER cores, so it is naturally inert single-threaded.
@@ -91,6 +94,9 @@ func machineForISA(cores int, defaultISA bool) *sim.Machine {
 	cfg.SpecRFOEvery = 32
 	return sim.New(cfg)
 }
+
+// cacheConfig256K is the evaluation's shared-L2 geometry.
+func cacheConfig256K() cache.Config { return cache.Config{SizeBytes: 256 << 10, Assoc: 8} }
 
 // Scheme names used throughout the harness.
 const (
@@ -175,6 +181,12 @@ type RunMetrics struct {
 	Telem      *telemetry.Machine
 	Trace      *sim.TraceBuffer       // non-nil when Options.TraceMax > 0
 	TxnTrace   *telemetry.TraceBuffer // non-nil when Options.TxnTraceMax > 0
+	// Sched counts how the simulator scheduled the run's architectural
+	// operations (granted ops vs channel handoffs). Host-side observability
+	// only: deliberately outside Stats/Telem, because it legitimately
+	// differs between the lease and reference schedulers while every
+	// simulated result stays identical.
+	Sched sim.SchedCounters
 }
 
 // validateConfig rejects unknown schemes/workloads and bad core counts,
@@ -225,7 +237,7 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 		return RunMetrics{}, err
 	}
 
-	machine := machineForISA(cores, o.DefaultISA)
+	machine := machineFor(cores, o)
 	var tb *sim.TraceBuffer
 	if o.TraceMax > 0 {
 		tb = sim.NewTraceBuffer(o.TraceMax * 16)
@@ -321,6 +333,7 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 		Telem:      machine.Telem,
 		Trace:      tb,
 		TxnTrace:   xb,
+		Sched:      machine.Sched(),
 	}, nil
 }
 
@@ -330,7 +343,7 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 // regions, so the comparison isolates barrier and validation overheads
 // rather than compulsory misses.
 func runMicro(scheme string, loadPct, loadReuse int, o Options) RunMetrics {
-	machine := machineFor(1)
+	machine := machineFor(1, o)
 	sys := buildScheme(scheme, machine, 1)
 	// A region small enough to stay L1-resident: the paper's kernel
 	// models intra-transaction locality, not capacity misses.
@@ -365,5 +378,5 @@ func runMicro(scheme string, loadPct, loadReuse int, o Options) RunMetrics {
 		runTxns(o.MicroTxns)
 		wall = c.Clock() - start
 	})
-	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Telem: machine.Telem}
+	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Telem: machine.Telem, Sched: machine.Sched()}
 }

@@ -22,11 +22,23 @@ const LineMask = LineSize - 1
 // unmapped so that a zero value read through a stray pointer faults loudly.
 const base = 0x10000
 
+// The backing store is a dense page table over the bump allocator's
+// contiguous range: pages[addr>>pageShift][(addr&pageMask)/WordSize].
+// Pages covering allocated space are materialised eagerly by Alloc, so
+// Load and Store are two array indexes with no nil checks, no hashing and
+// no per-access branches — this is the simulator's hottest data path.
+const (
+	pageShift = 16 // 64 KiB pages
+	pageBytes = 1 << pageShift
+	pageMask  = pageBytes - 1
+	pageWords = pageBytes / WordSize
+)
+
 // Memory is a flat simulated address space with a bump allocator.
 //
 // Memory is not safe for concurrent use; the simulator serialises access.
 type Memory struct {
-	words map[uint64]uint64
+	pages [][]uint64
 	next  uint64 // next free address (bump pointer)
 	// allocated tracks the extent of every allocation so out-of-bounds
 	// accesses can be detected in tests.
@@ -35,10 +47,22 @@ type Memory struct {
 
 // New returns an empty address space.
 func New() *Memory {
-	return &Memory{
-		words: make(map[uint64]uint64, 1<<16),
-		next:  base,
-		limit: base,
+	m := &Memory{next: base, limit: base}
+	m.grow()
+	return m
+}
+
+// grow extends the page table to cover every allocated address. Go zeroes
+// new pages, preserving Alloc's "memory is zeroed" contract. Pages below
+// base stay nil: check rejects those addresses before any indexing.
+func (m *Memory) grow() {
+	want := int((m.limit + pageMask) >> pageShift)
+	for len(m.pages) < want {
+		var pg []uint64
+		if len(m.pages) >= base>>pageShift {
+			pg = make([]uint64, pageWords)
+		}
+		m.pages = append(m.pages, pg)
 	}
 }
 
@@ -57,6 +81,7 @@ func (m *Memory) Alloc(size, align uint64) uint64 {
 	addr := (m.next + align - 1) &^ (align - 1)
 	m.next = addr + ((size + WordSize - 1) &^ (WordSize - 1))
 	m.limit = m.next
+	m.grow()
 	return addr
 }
 
@@ -72,17 +97,13 @@ func (m *Memory) AllocLines(n uint64) uint64 {
 // allocation.
 func (m *Memory) Load(addr uint64) uint64 {
 	m.check(addr)
-	return m.words[addr]
+	return m.pages[addr>>pageShift][(addr&pageMask)/WordSize]
 }
 
 // Store writes the word at addr.
 func (m *Memory) Store(addr, val uint64) {
 	m.check(addr)
-	if val == 0 {
-		delete(m.words, addr) // keep the map sparse; zero is the default
-		return
-	}
-	m.words[addr] = val
+	m.pages[addr>>pageShift][(addr&pageMask)/WordSize] = val
 }
 
 // Allocated reports whether addr falls inside some allocation.

@@ -1,0 +1,219 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/sim"
+)
+
+// The scheduler differential suite is the executable form of the lease
+// equivalence argument: for every program, the grant-lease scheduler and
+// the reference per-op handoff scheduler must produce byte-identical
+// simulated results — identical per-core clocks, statistics, memory
+// contents and trace bytes. The lease only continues while the leased
+// core's pre-op clock is strictly below every other active core's clock,
+// so the reference scheduler would have granted the same core anyway;
+// ties are conservatively handed back so the (clock, id) tie-break
+// decides them identically.
+
+// splitMix is a tiny deterministic PRNG for generating random programs.
+type splitMix struct{ s uint64 }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// suspendEveryHook is a deterministic sim.FaultHook: every n-th grant
+// machine-wide injects a ring transition on the granted core. It exercises
+// the requirement that OnGrant fires once per granted op at the same point
+// of the global operation order under both schedulers.
+type suspendEveryHook struct {
+	n      uint64
+	grants uint64
+	fired  uint64
+}
+
+func (h *suspendEveryHook) OnGrant(c *sim.Ctx) {
+	h.grants++
+	if h.grants%h.n == 0 {
+		h.fired++
+		c.InjectSuspend()
+	}
+}
+
+// diffOutcome is everything a scheduler run is judged on.
+type diffOutcome struct {
+	wall      uint64
+	clocks    []uint64
+	stats     string
+	trace     []byte
+	memory    []uint64
+	grants    uint64
+	hookFired uint64
+}
+
+// runRandom executes one randomized program mix under the given scheduler
+// and snapshots every observable simulated result.
+func runRandom(t *testing.T, seed uint64, cores int, interruptEvery uint64, hookEvery uint64, reference bool) diffOutcome {
+	t.Helper()
+	cfg := sim.DefaultConfig(cores)
+	cfg.InterruptEvery = interruptEvery
+	cfg.ReferenceScheduler = reference
+	m := sim.New(cfg)
+	tb := sim.NewTraceBuffer(1 << 14)
+	m.SetTrace(tb)
+	var hook *suspendEveryHook
+	if hookEvery > 0 {
+		hook = &suspendEveryHook{n: hookEvery}
+		m.SetFaultHook(hook)
+	}
+
+	// A shared region all cores contend on plus a private region per core:
+	// the shared CAS traffic makes grant order observable in memory, the
+	// private traffic exercises long uncontended leases.
+	shared := m.Mem.AllocLines(8)
+	private := make([]uint64, cores)
+	for i := range private {
+		private[i] = m.Mem.AllocLines(4)
+	}
+
+	progs := make([]sim.Program, cores)
+	for i := range progs {
+		id := i
+		progs[i] = func(c *sim.Ctx) {
+			r := splitMix{s: seed*1000003 + uint64(id)}
+			ops := 400 + int(r.next()%200)
+			for n := 0; n < ops; n++ {
+				switch r.next() % 10 {
+				case 0, 1, 2:
+					c.Load(shared + (r.next()%64)*8)
+				case 3:
+					c.Store(shared+(r.next()%64)*8, r.next())
+				case 4:
+					old := c.Load(shared)
+					c.CAS(shared, old, old+1)
+				case 5, 6:
+					a := private[id] + (r.next()%32)*8
+					c.Store(a, c.Load(a)+1)
+				case 7:
+					c.Exec(1 + r.next()%7)
+				case 8:
+					c.LoadSetMark(private[id], mem.LineSize)
+				case 9:
+					if _, marked := c.LoadTestMark(private[id], mem.LineSize); marked {
+						c.TraceEvent("marked", fmt.Sprintf("op%d", n))
+					}
+				}
+			}
+		}
+	}
+	wall := m.Run(progs...)
+
+	out := diffOutcome{wall: wall, stats: m.Stats.String(), grants: m.Sched().Grants}
+	for i := 0; i < cores; i++ {
+		out.clocks = append(out.clocks, m.Core(i).Clock())
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf, 0)
+	out.trace = buf.Bytes()
+	for addr := shared; addr < m.Mem.Footprint()+0x10000; addr += 8 {
+		out.memory = append(out.memory, m.Mem.Load(addr))
+	}
+	if hook != nil {
+		out.hookFired = hook.fired
+	}
+	return out
+}
+
+// TestSchedulerDifferential sweeps seeds × core counts × interrupt cadence
+// × fault-hook cadence and demands identical outcomes from both
+// schedulers, including equal grant counts (the lease reorders nothing and
+// consumes exactly the same grants, just cheaper).
+func TestSchedulerDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, cores := range []int{1, 2, 3, 4} {
+			for _, ie := range []uint64{0, 700} {
+				for _, hook := range []uint64{0, 97} {
+					name := fmt.Sprintf("seed%d/%dcore/ie%d/hook%d", seed, cores, ie, hook)
+					t.Run(name, func(t *testing.T) {
+						lease := runRandom(t, seed, cores, ie, hook, false)
+						ref := runRandom(t, seed, cores, ie, hook, true)
+						if lease.wall != ref.wall {
+							t.Errorf("wall cycles: lease %d, reference %d", lease.wall, ref.wall)
+						}
+						if !reflect.DeepEqual(lease.clocks, ref.clocks) {
+							t.Errorf("core clocks: lease %v, reference %v", lease.clocks, ref.clocks)
+						}
+						if lease.stats != ref.stats {
+							t.Errorf("stats diverge:\nlease:\n%s\nreference:\n%s", lease.stats, ref.stats)
+						}
+						if !bytes.Equal(lease.trace, ref.trace) {
+							t.Errorf("trace bytes diverge (%d vs %d bytes)", len(lease.trace), len(ref.trace))
+						}
+						if !reflect.DeepEqual(lease.memory, ref.memory) {
+							t.Errorf("final memory contents diverge")
+						}
+						if lease.grants != ref.grants {
+							t.Errorf("grants: lease %d, reference %d", lease.grants, ref.grants)
+						}
+						if lease.hookFired != ref.hookFired {
+							t.Errorf("fault hook firings: lease %d, reference %d", lease.hookFired, ref.hookFired)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestSchedCounters pins the counter semantics: single-core lease runs pay
+// exactly one handoff for the whole program (plus the completion grant's),
+// while the reference scheduler pays one per grant.
+func TestSchedCounters(t *testing.T) {
+	const ops = 100
+	run := func(reference bool) sim.SchedCounters {
+		cfg := sim.DefaultConfig(1)
+		cfg.ReferenceScheduler = reference
+		m := sim.New(cfg)
+		addr := m.Mem.AllocLines(1)
+		m.Run(func(c *sim.Ctx) {
+			for i := 0; i < ops; i++ {
+				c.Load(addr)
+			}
+		})
+		return m.Sched()
+	}
+
+	lease := run(false)
+	// ops data grants + 1 completion grant.
+	if want := uint64(ops + 1); lease.Grants != want {
+		t.Errorf("lease grants = %d, want %d", lease.Grants, want)
+	}
+	// One lease covers the whole single-core program; the completion grant
+	// is consumed inline under it too.
+	if lease.Leases != 1 {
+		t.Errorf("lease count = %d, want 1 (single-core program is one lease)", lease.Leases)
+	}
+	if got := lease.HandoffsAvoided(); got != uint64(ops) {
+		t.Errorf("handoffs avoided = %d, want %d", got, ops)
+	}
+
+	ref := run(true)
+	if ref.Grants != lease.Grants {
+		t.Errorf("reference grants = %d, want %d", ref.Grants, lease.Grants)
+	}
+	if ref.Leases != ref.Grants {
+		t.Errorf("reference leases = %d, want %d (one handoff per grant)", ref.Leases, ref.Grants)
+	}
+	if ref.HandoffsAvoided() != 0 {
+		t.Errorf("reference handoffs avoided = %d, want 0", ref.HandoffsAvoided())
+	}
+}

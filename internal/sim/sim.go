@@ -7,6 +7,22 @@
 // smallest local clock executes the next operation (ties broken by core id),
 // so runs are deterministic and the interleaving IS the timing model.
 //
+// Two host-side schedulers realise that one ordering. The reference
+// scheduler (Config.ReferenceScheduler) hands every operation through a
+// channel round-trip: grant, execute, hand back. The default grant-lease
+// scheduler instead grants the min-clock core a *lease*: the right to
+// execute operations inline on its own goroutine for as long as its
+// pre-operation clock stays strictly below the horizon (the minimum clock
+// of the other runnable cores, maintained in a min-heap). While the clock
+// is strictly below the horizon this core is the unique minimum, so the
+// serial scheduler would have granted it every one of those operations
+// anyway; on a tie the core conservatively hands back so the lowest-id
+// tie-break is decided by the scheduler, never assumed. Grant order — and
+// therefore every simulated result — is identical under both schedulers;
+// only the number of host context switches changes. A single runnable core
+// (every 1-core cell, and the tail of every multi-core run) executes with
+// zero handoffs.
+//
 // The Ctx exposes ordinary loads/stores/CAS, an Exec(n) charge for ALU
 // work, and the paper's six ISA extensions (loadsetmark, loadresetmark,
 // loadtestmark, resetmarkall, resetmarkcounter, readmarkcounter) over the
@@ -106,6 +122,14 @@ type Config struct {
 	// "significant spurious aborts in a modern OOO processor", which "are
 	// not directly related to the transaction size".
 	SpecRFOEvery uint64
+
+	// ReferenceScheduler selects the original per-operation handoff
+	// scheduler (two goroutine context switches per architectural op)
+	// instead of the grant-lease scheduler. Both produce byte-identical
+	// simulated results — the differential test suite proves it — so this
+	// switch exists as the executable specification the fast path is
+	// checked against, not as a user-facing mode.
+	ReferenceScheduler bool
 }
 
 // DefaultConfig returns the quad-core configuration modelled on the paper's
@@ -135,10 +159,37 @@ type Machine struct {
 	cores    []*Ctx
 	events   chan event
 	ran      bool
+	sched    SchedCounters
 	trace    *TraceBuffer
 	txnTrace *telemetry.TraceBuffer
 	fault    FaultHook
 }
+
+// SchedCounters is the scheduler's observability block: how many
+// architectural operations were granted and how many host-side handoffs
+// (channel round-trips, i.e. leases) were paid for them. Both values are
+// pure functions of the simulated schedule, so they are deterministic for
+// a given configuration — but they differ by design between the lease and
+// reference schedulers, which is why they live here and not in the
+// telemetry counter blocks the differential suite compares.
+type SchedCounters struct {
+	// Grants counts granted architectural operations, including the one
+	// completion grant each program consumes to report termination.
+	Grants uint64
+	// Leases counts scheduler handoffs: channel round-trips from the
+	// scheduler goroutine to a core and back. Under the reference
+	// scheduler every grant is its own lease of length one; under the
+	// grant-lease scheduler one lease covers a maximal run of consecutive
+	// grants to the same core.
+	Leases uint64
+}
+
+// HandoffsAvoided returns how many grants executed inline under a lease
+// without paying a goroutine round-trip.
+func (s SchedCounters) HandoffsAvoided() uint64 { return s.Grants - s.Leases }
+
+// Sched returns the scheduler counters. Stable only after Run returns.
+func (m *Machine) Sched() SchedCounters { return m.sched }
 
 // FaultHook observes every scheduler grant and may perturb the machine —
 // suspend the granted core, evict or back-invalidate cache lines, doom a
@@ -241,29 +292,23 @@ func (m *Machine) Run(progs ...Program) uint64 {
 		active[i] = true
 		go func(c *Ctx, p Program) {
 			p(c)
-			// One final grant to report completion deterministically.
-			<-c.resume
+			// One final grant to report completion deterministically. A
+			// core still holding a lease is strictly below the horizon, so
+			// it IS the unique min-clock core and the completion grant is
+			// already its — consume it inline.
+			if !c.leased {
+				<-c.resume
+			}
+			c.leased = false
+			m.sched.Grants++
 			m.events <- event{core: c.id, finished: true}
 		}(m.cores[i], p)
 	}
 
-	for running > 0 {
-		// Grant the non-finished active core with the smallest clock.
-		pick := -1
-		for i := 0; i < m.cfg.Cores; i++ {
-			if !active[i] {
-				continue
-			}
-			if pick < 0 || m.cores[i].clock < m.cores[pick].clock {
-				pick = i
-			}
-		}
-		m.cores[pick].resume <- struct{}{}
-		ev := <-m.events
-		if ev.finished {
-			active[ev.core] = false
-			running--
-		}
+	if m.cfg.ReferenceScheduler {
+		m.runReference(running, active)
+	} else {
+		m.runLease(running, active)
 	}
 
 	var wall uint64
@@ -275,6 +320,127 @@ func (m *Machine) Run(progs ...Program) uint64 {
 	return wall
 }
 
+// runReference is the original per-operation scheduler, kept verbatim as
+// the executable specification of the grant order: scan for the
+// non-finished active core with the smallest clock (ties to the lowest
+// id), grant it exactly one operation, repeat.
+func (m *Machine) runReference(running int, active []bool) {
+	for running > 0 {
+		pick := -1
+		for i := 0; i < m.cfg.Cores; i++ {
+			if !active[i] {
+				continue
+			}
+			if pick < 0 || m.cores[i].clock < m.cores[pick].clock {
+				pick = i
+			}
+		}
+		m.sched.Leases++
+		m.cores[pick].resume <- struct{}{}
+		ev := <-m.events
+		if ev.finished {
+			active[ev.core] = false
+			running--
+		}
+	}
+}
+
+// runLease is the grant-lease scheduler. The run queue is a min-heap on
+// (clock, id); the popped core receives the heap minimum that remains as
+// its horizon and executes inline until an operation would start at or
+// above it (see Ctx.release). Because no other core's clock can change
+// while the lease is out, the horizon is exact, and the strict-inequality
+// continuation rule means every inline grant went to the unique min-clock
+// core — exactly what runReference would have done. Clock ties hand back
+// so the heap's lowest-id tie-break decides, matching the reference scan.
+func (m *Machine) runLease(running int, active []bool) {
+	h := newSchedHeap(m.cfg.Cores)
+	for i := 0; i < m.cfg.Cores; i++ {
+		if active[i] {
+			h.push(heapEntry{clock: m.cores[i].clock, id: i})
+		}
+	}
+	for running > 0 {
+		e := h.pop()
+		c := m.cores[e.id]
+		if h.len() > 0 {
+			c.horizon = h.min().clock
+		} else {
+			c.horizon = ^uint64(0) // alone: run to completion, zero handoffs
+		}
+		m.sched.Leases++
+		c.resume <- struct{}{}
+		ev := <-m.events
+		if ev.finished {
+			running--
+		} else {
+			h.push(heapEntry{clock: m.cores[ev.core].clock, id: ev.core})
+		}
+	}
+}
+
+// heapEntry is one runnable core in the lease scheduler's run queue. The
+// clock is a snapshot taken at hand-back; it cannot go stale because a
+// core's clock only advances while the core holds the grant, and a core in
+// the heap does not.
+type heapEntry struct {
+	clock uint64
+	id    int
+}
+
+func (a heapEntry) less(b heapEntry) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+// schedHeap is a hand-rolled binary min-heap on (clock, id). It replaces
+// the reference scheduler's O(cores) scan per grant and stays
+// allocation-free after construction (at most one entry per core).
+type schedHeap struct{ e []heapEntry }
+
+func newSchedHeap(capacity int) *schedHeap {
+	return &schedHeap{e: make([]heapEntry, 0, capacity)}
+}
+
+func (h *schedHeap) len() int       { return len(h.e) }
+func (h *schedHeap) min() heapEntry { return h.e[0] }
+
+func (h *schedHeap) push(x heapEntry) {
+	h.e = append(h.e, x)
+	i := len(h.e) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.e[i].less(h.e[parent]) {
+			break
+		}
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
+		i = parent
+	}
+}
+
+func (h *schedHeap) pop() heapEntry {
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.e[l].less(h.e[smallest]) {
+			smallest = l
+		}
+		if r < last && h.e[r].less(h.e[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.e[i], h.e[smallest] = h.e[smallest], h.e[i]
+		i = smallest
+	}
+	return top
+}
+
 // Ctx is one core's architectural interface. All methods must be called
 // only from that core's program goroutine.
 type Ctx struct {
@@ -282,6 +448,13 @@ type Ctx struct {
 	id     int
 	resume chan struct{}
 	clock  uint64
+
+	// Lease state. leased is true while this core holds a grant it may
+	// extend inline; horizon is the minimum clock of the other runnable
+	// cores, set by the scheduler when the lease was issued. Under the
+	// reference scheduler horizon stays 0, so release always hands back.
+	leased  bool
+	horizon uint64
 
 	markCounter   [cache.NumMarkPlanes]uint64
 	lastInterrupt uint64
@@ -328,10 +501,18 @@ func (c *Ctx) charge(cycles uint64) {
 	c.stats().Cycles[c.cat] += cycles
 }
 
-// acquire blocks until the scheduler grants this core the next operation,
-// then applies any pending ring transition and runs the fault hook.
+// acquire obtains the grant for the next architectural operation — inline
+// when this core holds a live lease, otherwise by blocking until the
+// scheduler hands one over — then applies any pending ring transition and
+// runs the fault hook. The per-operation duties run on every grant path,
+// so ring transitions and fault injections fire at the same deterministic
+// points of the global operation order under both schedulers.
 func (c *Ctx) acquire() {
-	<-c.resume
+	if !c.leased {
+		<-c.resume
+		c.leased = true
+	}
+	c.m.sched.Grants++
 	if iv := c.m.cfg.InterruptEvery; iv > 0 && (c.clock-c.lastInterrupt) >= iv {
 		c.lastInterrupt = c.clock
 		// The interrupt path executes resetmarkall before resuming (§5).
@@ -368,7 +549,19 @@ func (c *Ctx) InjectSuspend() { c.ringTransitionNow() }
 // the core is validating).
 func (c *Ctx) Cat() stats.Category { return c.cat }
 
-func (c *Ctx) release() { c.m.events <- event{core: c.id} }
+// release ends the granted operation. While the post-operation clock is
+// strictly below the horizon this core is still the unique min-clock core,
+// so the lease extends and the next acquire proceeds inline with no host
+// handoff. At or above the horizon the core conservatively hands back:
+// another core has caught up (or a tie must be broken by id), and the
+// scheduler decides the next grant exactly as the reference scan would.
+func (c *Ctx) release() {
+	if c.clock < c.horizon {
+		return
+	}
+	c.leased = false
+	c.m.events <- event{core: c.id}
+}
 
 func (c *Ctx) bumpMarkCounter(plane int) {
 	if c.markCounter[plane] < c.m.cfg.MarkCounterMax {

@@ -17,16 +17,16 @@ type TraceEvent struct {
 	Core   int
 	Kind   string // "begin", "commit", "abort", "validate", ...
 	Detail string
-	seq    uint64 // tie-break for stable ordering
 }
 
 // TraceBuffer collects events from all cores. Appends are mutex-protected
-// (goroutines emit between grants); Events() returns them sorted by cycle,
-// with the emission sequence as the tie-break.
+// (goroutines emit between grants, so two cores' appends can race in host
+// time); Events() canonicalises into (cycle, core) order, which depends
+// only on simulated state, so rendered traces are byte-identical across
+// runs, worker counts and host schedulers.
 type TraceBuffer struct {
 	mu     sync.Mutex
 	events []TraceEvent
-	seq    uint64
 	limit  int
 }
 
@@ -42,24 +42,26 @@ func NewTraceBuffer(limit int) *TraceBuffer {
 func (b *TraceBuffer) add(ev TraceEvent) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.seq++
-	ev.seq = b.seq
 	if len(b.events) < b.limit {
 		b.events = append(b.events, ev)
 	}
 }
 
-// Events returns the collected events in cycle order.
+// Events returns the collected events in canonical (cycle, core) order,
+// ties within one core broken by that core's emission order. A core's
+// clock never decreases and the stable sort keeps equal-keyed events in
+// append order — which within one core IS program order — so the result
+// is fully deterministic even though raw cross-core append order is not.
 func (b *TraceBuffer) Events() []TraceEvent {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make([]TraceEvent, len(b.events))
 	copy(out, b.events)
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Cycle != out[j].Cycle {
 			return out[i].Cycle < out[j].Cycle
 		}
-		return out[i].seq < out[j].seq
+		return out[i].Core < out[j].Core
 	})
 	return out
 }
