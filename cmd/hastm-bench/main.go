@@ -23,6 +23,20 @@
 //	                          # under the injected fault mix and is checked
 //	                          # against the sequential oracle (exit 1 on
 //	                          # any violation)
+//	hastm-bench -adversarial all
+//	                          # progress-guarantee suite instead of figures:
+//	                          # livelock/starvation cells that require the
+//	                          # irrevocable escalation ladder to finish
+//	hastm-bench -adversarial storm -no-ladder
+//	                          # prove the pathology: same cells with the
+//	                          # ladder disarmed; the watchdog reports a
+//	                          # ProgressViolation and the exit code is 1
+//	hastm-bench -cycle-budget 2000000000 -watchdog-window 50000000
+//	                          # progress watchdogs for figure runs: a hard
+//	                          # per-run cycle budget and a commit-progress
+//	                          # window (0 disables either); a trip fails the
+//	                          # cell with a structured diagnosis instead of
+//	                          # hanging the harness
 //
 // Reports go to stdout, diagnostics (progress, timing, the per-figure
 // simulation-throughput summary) to stderr. Every simulation cell runs on
@@ -52,6 +66,71 @@ import (
 // sweep: enough for real contention, small enough that the full scheme ×
 // structure matrix stays quick.
 const faultCores = 4
+
+// adversarialCores is the core count of the -adversarial progress suite:
+// the pathologies (mutual-abort storms, reader starvation) need several
+// cores colliding, and four keeps the suite deterministic and fast.
+const adversarialCores = 4
+
+// runAdversarial runs the progress-guarantee suite: adversarial cells
+// that livelock or starve unless the irrevocable escalation ladder is
+// armed. With the ladder on (the default), every cell must complete and
+// verify; with -no-ladder the watchdogs turn the pathologies into
+// structured ProgressViolation reports and a nonzero exit instead of a
+// hang. Stdout is derived entirely from simulated state, so it is
+// byte-identical across -j values and both schedulers.
+func runAdversarial(filter string, ladder bool, o harness.Options, workers int, progress bool) int {
+	switch filter {
+	case "all":
+		filter = ""
+	case "storm":
+		filter = harness.AdversarialStorm
+	case "starve":
+		filter = harness.AdversarialStarve
+	default:
+		fmt.Fprintf(os.Stderr, "hastm-bench: -adversarial must be all, storm or starve, got %q\n", filter)
+		return 2
+	}
+	plan, reports := harness.ProgressPlan(o, adversarialCores, ladder, filter)
+	cfg := harness.ExecConfig{Workers: workers}
+	if progress {
+		cfg.ProgressSync = telemetry.NewSyncWriter(os.Stderr)
+	}
+	start := time.Now()
+	harness.Execute([]*harness.Plan{plan}, cfg)
+	elapsed := time.Since(start)
+
+	mode := "ladder armed (budget " + fmt.Sprint(harness.AdversarialRetryBudget) + ")"
+	if !ladder {
+		mode = "ladder disarmed"
+	}
+	fmt.Printf("adversarial: %s, cores %d, cycle budget %d, watchdog window %d\n\n",
+		mode, adversarialCores, harness.AdversarialCycleBudget, harness.AdversarialWatchdogWindow)
+	fmt.Printf("%-22s %12s %9s %6s %7s %12s  %s\n",
+		"cell", "cycles", "commits", "esc", "irrev", "irrev-cyc", "verdict")
+	failures := 0
+	for _, rep := range reports {
+		if rep.Err != "" {
+			failures++
+		}
+		fmt.Printf("%-22s %12d %9d %6d %7d %12d  %s\n",
+			rep.Scheme+"/"+rep.Workload, rep.WallCycles, rep.Commits,
+			rep.Escalations, rep.IrrevocableEntries, rep.IrrevocableCycles, rep.Verdict())
+	}
+	fmt.Printf("\nadversarial: %d cells, %d failed\n", len(reports), failures)
+	for _, rep := range reports {
+		if rep.Detail != "" {
+			fmt.Fprintf(os.Stderr, "hastm-bench: %s/%s diagnosis:\n%s\n",
+				rep.Scheme, rep.Workload, rep.Detail)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hastm-bench: adversarial %d cells in %v (-j %d)\n",
+		len(reports), elapsed.Round(time.Millisecond), workers)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
 
 // runFaultstorm runs the fault-injection conformance sweep and prints one
 // verdict row per scheme/structure cell. Stdout is derived entirely from
@@ -130,6 +209,10 @@ func realMain() int {
 		traceMax = flag.Int("trace-max", telemetry.DefaultTraceLimit, "per-cell transaction-event cap for -trace")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		faultsF  = flag.String("faults", "", "run the fault-injection conformance sweep with this spec (e.g. suspend=900,evict=600,seed=3)")
+		advF     = flag.String("adversarial", "", "run the progress-guarantee suite instead of figures: all, storm or starve")
+		noLadder = flag.Bool("no-ladder", false, "disarm the escalation ladder in the -adversarial suite (the watchdog must then trip)")
+		cycleBud = flag.Uint64("cycle-budget", 2_000_000_000, "hard per-run simulated-cycle budget for figure cells (0 = unlimited)")
+		watchWin = flag.Uint64("watchdog-window", 50_000_000, "commit-progress watchdog window in cycles for figure cells (0 = off)")
 		schedF   = flag.String("sched", "lease", "simulator scheduler: lease (grant-lease fast path) or reference (per-op handoff)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -187,6 +270,13 @@ func realMain() int {
 	if *traceF != "" {
 		o.TxnTraceMax = *traceMax
 	}
+	// The watchdogs observe host-side progress fields only — they never
+	// touch simulated memory — so arming them by default keeps figure
+	// output bit-identical while turning a hung or livelocked cell into a
+	// structured failure with a nonzero exit.
+	o.CycleBudget = *cycleBud
+	o.WatchdogWindow = *watchWin
+	o.StallTimeout = 2 * time.Minute
 	switch *schedF {
 	case "lease":
 	case "reference":
@@ -203,6 +293,9 @@ func realMain() int {
 			return 2
 		}
 		return runFaultstorm(spec, o, *workers, *progress)
+	}
+	if *advF != "" {
+		return runAdversarial(*advF, !*noLadder, o, *workers, *progress)
 	}
 
 	specs := harness.All()
@@ -284,5 +377,15 @@ func realMain() int {
 	throughputSummary(plans)
 	fmt.Fprintf(os.Stderr, "hastm-bench: %d experiments, %d cells in %v (-j %d, -sched %s)\n",
 		len(specs), cellCount, elapsed.Round(time.Millisecond), *workers, *schedF)
+	// A cell that tripped a watchdog or contained a core panic carries its
+	// diagnosis in Cell.Err (and in the JSON report); the run must fail
+	// loudly rather than publish figures with silently missing cells.
+	if failed := harness.FailedCells(plans); len(failed) > 0 {
+		for _, c := range failed {
+			fmt.Fprintf(os.Stderr, "hastm-bench: cell %s/%s FAILED:\n%s\n", c.Figure, c.Label, c.Err)
+		}
+		fmt.Fprintf(os.Stderr, "hastm-bench: %d of %d cells failed\n", len(failed), cellCount)
+		return 1
+	}
 	return 0
 }

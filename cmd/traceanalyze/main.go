@@ -17,6 +17,7 @@
 //
 //	traceanalyze trace.jsonl     # analyse a hastm-bench -trace file
 //	traceanalyze -strict t.jsonl # also fail unless every begin is terminated
+//	                             # and every irrevocable attempt commits
 //	traceanalyze -top 5 t.jsonl  # show the 5 most abort-heavy cells
 //	traceanalyze                 # the 12 workload profiles (Fig 13)
 //	traceanalyze -structures     # also measure hashtable/BST/B-tree
@@ -99,11 +100,19 @@ type cellStat struct {
 // scheme falls back after exhausting hardware attempts). State is
 // tracked per (cell, core): a core runs one attempt at a time, and
 // cells are independent machines.
+//
+// It also checks the irrevocability contract: an attempt marked by an
+// irrevocable event holds the global token and has no rollback path, so
+// its only legal terminals are commit and body error — an abort or a
+// retry-wait afterwards means the engine revoked the irrevocable.
 type strictChecker struct {
 	// pending maps a (cell, core) stream to the line number of its
 	// unterminated begin (0 = none pending).
-	pending    map[string]int
-	violations []string
+	pending map[string]int
+	// irrevocable maps a stream to the line of the irrevocable marker of
+	// its in-flight attempt (0 = the attempt is revocable).
+	irrevocable map[string]int
+	violations  []string
 }
 
 func streamKey(cell string, core int) string { return fmt.Sprintf("%s\x00%d", cell, core) }
@@ -124,13 +133,28 @@ func (s *strictChecker) observe(ev *telemetry.TxnEvent, path string, lineNo int)
 				fmt.Sprintf("%s:%d: %s with no begin pending (cell %q, core %d)",
 					path, lineNo, ev.Kind, ev.Cell, ev.Core))
 		}
+		if at := s.irrevocable[key]; at != 0 &&
+			(ev.Kind == telemetry.EvAbort || ev.Kind == telemetry.EvRetry) {
+			s.violations = append(s.violations,
+				fmt.Sprintf("%s:%d: %s of the irrevocable attempt marked at line %d (cell %q, core %d)",
+					path, lineNo, ev.Kind, at, ev.Cell, ev.Core))
+		}
 		s.pending[key] = 0
+		s.irrevocable[key] = 0
 	case telemetry.EvFallback:
 		// Terminates a pending hardware attempt if there is one; an
 		// attempts-exhausted fallback legitimately arrives without one.
 		s.pending[key] = 0
-	case telemetry.EvMode:
-		// Informational; not part of the attempt life-cycle.
+	case telemetry.EvIrrevocable:
+		if s.pending[key] == 0 {
+			s.violations = append(s.violations,
+				fmt.Sprintf("%s:%d: irrevocable marker with no begin pending (cell %q, core %d)",
+					path, lineNo, ev.Cell, ev.Core))
+		}
+		s.irrevocable[key] = lineNo
+	case telemetry.EvMode, telemetry.EvEscalate:
+		// Informational; not part of the attempt life-cycle. (Escalation
+		// is announced before the irrevocable attempt begins.)
 	}
 }
 
@@ -174,7 +198,7 @@ func analyzeJSONL(path string, top int, strict bool) error {
 		maxDepth   int
 		cells      = map[string]*cellStat{}
 		cellOrder  []string
-		checker    = &strictChecker{pending: map[string]int{}}
+		checker    = &strictChecker{pending: map[string]int{}, irrevocable: map[string]int{}}
 	)
 
 	sc := bufio.NewScanner(f)
@@ -195,7 +219,7 @@ func analyzeJSONL(path string, top int, strict bool) error {
 		switch ev.Kind {
 		case telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
 			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode,
-			telemetry.EvError:
+			telemetry.EvError, telemetry.EvEscalate, telemetry.EvIrrevocable:
 		default:
 			return fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, ev.Kind)
 		}
@@ -251,7 +275,8 @@ func analyzeJSONL(path string, top int, strict bool) error {
 
 	fmt.Println("event kinds:")
 	for _, k := range []string{telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
-		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode, telemetry.EvError} {
+		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode, telemetry.EvError,
+		telemetry.EvEscalate, telemetry.EvIrrevocable} {
 		if n := kinds[k]; n > 0 {
 			fmt.Printf("  %-10s %8d\n", k, n)
 		}
@@ -286,7 +311,10 @@ func analyzeJSONL(path string, top int, strict bool) error {
 	for _, n := range retryDepth {
 		commits += n
 	}
-	for d := 0; d <= maxDepth; d++ {
+	if commits == 0 {
+		fmt.Println("  (no commits)")
+	}
+	for d := 0; commits > 0 && d <= maxDepth; d++ {
 		n := retryDepth[d]
 		bar := strings.Repeat("#", int(50*float64(n)/float64(commits)+0.5))
 		fmt.Printf("  %3d %8d  %s\n", d, n, bar)

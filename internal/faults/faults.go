@@ -147,8 +147,8 @@ const eventCap = 1 << 16
 
 // coreState is one core's injection scheduler.
 type coreState struct {
-	ops  uint64          // grants observed on this core
-	rng  uint64          // xorshift jitter stream
+	ops  uint64           // grants observed on this core
+	rng  uint64           // xorshift jitter stream
 	next [numKinds]uint64 // ops count of each kind's next injection
 }
 

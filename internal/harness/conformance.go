@@ -20,7 +20,7 @@ func FinalStateHash(scheme, workload string, cores int, o Options, updatePct int
 		return 0, err
 	}
 	machine := machineFor(cores, o)
-	sys := buildExtScheme(scheme, machine, cores)
+	sys := buildExtScheme(scheme, machine, cores, o)
 	ds := buildStructure(workload, machine.Mem, o)
 	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
 
@@ -38,5 +38,8 @@ func FinalStateHash(scheme, workload string, cores int, o Options, updatePct int
 		}
 	}
 	machine.Run(progs...)
+	if err := machine.CheckHealth(); err != nil {
+		return 0, err
+	}
 	return workloads.Fingerprint(ds, workloads.Direct{M: machine.Mem}), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"hastm.dev/hastm/internal/core"
 	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/telemetry"
 	"hastm.dev/hastm/internal/tm"
 	"hastm.dev/hastm/internal/workloads"
 )
@@ -30,12 +31,14 @@ func Extensions() []Spec {
 		{"ext-defaultisa", "Section 3.3 default ISA: correct but unaccelerated", planExtDefaultISA},
 		{"ext-granularity", "Object- vs cache-line-granularity conflict detection", planExtGranularity},
 		{"ext-smt", "SMT: four hardware threads on two shared L1s vs four full cores", planExtSMT},
+		{"ext-irrevocable", "Escalation-ladder cost when budgets never trip", planExtIrrevocable},
 	}
 }
 
-func buildExtScheme(name string, m *sim.Machine, threads int) tm.System {
+func buildExtScheme(name string, m *sim.Machine, threads int, o Options) tm.System {
 	hastmCfg := core.DefaultConfig(tm.LineGranularity)
 	hastmCfg.SingleThread = threads == 1
+	hastmCfg.TM.Progress.RetryBudget = o.RetryBudget
 	switch name {
 	case SchemeWFilter:
 		hastmCfg.FilterWrites = true
@@ -52,8 +55,17 @@ func buildExtScheme(name string, m *sim.Machine, threads int) tm.System {
 	case SchemeWatermark:
 		hastmCfg.SingleThread = false // force the adaptive controller
 		return core.NewNamed(SchemeWatermark, m, hastmCfg)
+	case SchemeIrrevocable:
+		// HASTM with the escalation ladder always armed: same hardware,
+		// same policy, plus a bounded retry budget. On uncontended figure
+		// workloads the budget never trips, so this must cost ~nothing —
+		// the ext-irrevocable ablation's claim.
+		if hastmCfg.TM.Progress.RetryBudget == 0 {
+			hastmCfg.TM.Progress.RetryBudget = IrrevocableDefaultBudget
+		}
+		return core.NewNamed(SchemeIrrevocable, m, hastmCfg)
 	default:
-		return buildScheme(name, m, threads)
+		return buildScheme(name, m, threads, o)
 	}
 }
 
@@ -98,7 +110,7 @@ func ExtWFilter(o Options) *Report { return runSerial(planExtWFilter(o)) }
 // the extension schemes.
 func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) RunMetrics {
 	machine := machineFor(1, o)
-	sys := buildExtScheme(scheme, machine, 1)
+	sys := buildExtScheme(scheme, machine, 1, o)
 	mi := workloads.NewMicro(machine.Mem, 256)
 	mi.LoadPercent = loadPct
 	mi.LoadReuse = loadReuse
@@ -122,6 +134,7 @@ func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) R
 		runTxns(o.MicroTxns)
 		wall = c.Clock() - start
 	})
+	mustHealthy(machine)
 	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Sched: machine.Sched()}
 }
 
@@ -130,7 +143,7 @@ func runMicroExt(scheme string, loadPct, loadReuse, storeReuse int, o Options) R
 // along in the metrics so assembly can count cross-block filtered reads.
 func runInterAtomic(scheme string, lines uint64, o Options) RunMetrics {
 	machine := machineFor(1, o)
-	sys := buildExtScheme(scheme, machine, 1)
+	sys := buildExtScheme(scheme, machine, 1, o)
 	base := machine.Mem.Alloc(lines*64, 64)
 	var wall uint64
 	machine.Run(func(c *sim.Ctx) {
@@ -153,6 +166,7 @@ func runInterAtomic(scheme string, lines uint64, o Options) RunMetrics {
 		warm(o.MicroTxns * 4)
 		wall = c.Clock() - start
 	})
+	mustHealthy(machine)
 	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Sched: machine.Sched()}
 }
 
@@ -311,6 +325,9 @@ func ExtGranularity(o Options) *Report { return runSerial(planExtGranularity(o))
 func runSMT(scheme string, smt bool, o Options) RunMetrics {
 	cfg := sim.DefaultConfig(4)
 	cfg.ReferenceScheduler = o.ReferenceScheduler
+	cfg.WatchdogWindow = o.WatchdogWindow
+	cfg.CycleBudget = o.CycleBudget
+	cfg.StallTimeout = o.StallTimeout
 	cfg.L2 = cacheConfig256K()
 	cfg.Prefetch = true
 	cfg.SpecRFOEvery = 32
@@ -318,7 +335,7 @@ func runSMT(scheme string, smt bool, o Options) RunMetrics {
 		cfg.ThreadsPerCore = 2
 	}
 	machine := sim.New(cfg)
-	sys := buildExtScheme(scheme, machine, 4)
+	sys := buildExtScheme(scheme, machine, 4, o)
 	ds := buildStructure(WorkloadBTree, machine.Mem, o)
 	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
 	per := o.Ops / 4
@@ -332,6 +349,7 @@ func runSMT(scheme string, smt bool, o Options) RunMetrics {
 		}
 	}
 	wall := machine.Run(progs...)
+	mustHealthy(machine)
 	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Sched: machine.Sched()}
 }
 
@@ -403,3 +421,59 @@ func planExtSMT(o Options) *Plan {
 
 // ExtSMT regenerates the SMT provision measurement serially.
 func ExtSMT(o Options) *Report { return runSerial(planExtSMT(o)) }
+
+// escalations sums the ladder's escalation counter across cores.
+func escalations(m RunMetrics) float64 {
+	if m.Telem == nil {
+		return 0
+	}
+	return float64(m.Telem.Totals().Counters[telemetry.Escalations.String()])
+}
+
+// planExtIrrevocable quantifies the escalation ladder's standing cost: the
+// hastm-irrevocable scheme runs the standard structures with a finite
+// retry budget that the figure workloads never exhaust, so its time must
+// match plain HASTM (ratio ~1.0) and its escalation count must be zero.
+// The ladder is pay-as-you-go — insurance against livelock, not a tax on
+// the common case.
+func planExtIrrevocable(o Options) *Plan {
+	const cores = 4
+	p := newPlan("ext-irrevocable")
+	type pair struct{ base, ladder *Cell }
+	cells := make(map[string]pair)
+	for _, w := range Workloads() {
+		cells[w] = pair{
+			base:   p.structure(SchemeHASTM, w, cores, o),
+			ladder: p.structure(SchemeIrrevocable, w, cores, o),
+		}
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-irrevocable",
+			Title: "Escalation ladder standing cost (budget never trips)",
+			Notes: "4 cores, standard structures; hastm-irrevocable relative to hastm ~ 1.0 (the ladder's handshake is 3 L1 ops per transaction, a few percent on short transactions); escalations must be 0 on these workloads",
+		}
+		tbl := Table{
+			Name:      "ladder armed vs off",
+			ColHeader: "workload",
+			Cols:      []string{"rel time", "escalations"},
+			Unit:      "x of hastm / count",
+		}
+		for _, w := range Workloads() {
+			c := cells[w]
+			tbl.Rows = append(tbl.Rows, Row{
+				Name: w,
+				Cells: []float64{
+					float64(c.ladder.WallCycles()) / float64(c.base.WallCycles()),
+					escalations(c.ladder.Metrics()),
+				},
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep
+	}
+	return p
+}
+
+// ExtIrrevocable regenerates the ladder-cost ablation serially.
+func ExtIrrevocable(o Options) *Report { return runSerial(planExtIrrevocable(o)) }

@@ -79,7 +79,7 @@ func FaultedRun(scheme, workload string, cores int, o Options, spec faults.Spec,
 
 	machine := machineFor(cores, o)
 	plane := faults.Attach(machine, spec)
-	sys := buildExtScheme(scheme, machine, cores)
+	sys := buildExtScheme(scheme, machine, cores, o)
 	if hs, ok := sys.(*htm.System); ok {
 		plane.RegisterHTMAborter(hs.Manager().InjectSpuriousAbort)
 	}
@@ -110,6 +110,13 @@ func FaultedRun(scheme, workload string, cores int, o Options, spec faults.Spec,
 	rep.ScheduleHash = plane.ScheduleHash()
 	rep.Totals = machine.Stats.Totals()
 
+	// Contained core panics and watchdog trips fail the verdict first:
+	// they mean the run itself is unsound, so the oracle result would be
+	// meaningless.
+	if err := machine.CheckHealth(); err != nil {
+		rep.Err = err.Error()
+		return rep, nil
+	}
 	for id, err := range runErrs {
 		if err != nil {
 			rep.Err = fmt.Sprintf("thread %d: %v", id, err)

@@ -115,7 +115,7 @@ func TestHASTMSuspensionNeverAborts(t *testing.T) {
 func TestRetryWakeupUnderSuspension(t *testing.T) {
 	machine := machineFor(2, QuickOptions())
 	plane := faults.Attach(machine, faults.Spec{SuspendEvery: 40, Seed: 11})
-	sys := buildScheme(SchemeSTM, machine, 2)
+	sys := buildScheme(SchemeSTM, machine, 2, QuickOptions())
 
 	flagA := machine.Mem.Alloc(64, 64)
 	flagB := machine.Mem.Alloc(64, 64)

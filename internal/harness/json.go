@@ -21,7 +21,11 @@ import (
 // handoffs, handoffs avoided by the grant lease) and a host-throughput
 // field (simulated cycles per host second), for tracking simulator speed
 // alongside simulated results.
-const BenchSchema = "hastm-bench/3"
+// hastm-bench/4: the telemetry block gains the escalation-ladder counters
+// (escalations, irrevocable_entries, irrevocable_cycles_held) and cells
+// gain an error field carrying the contained failure report (core panic,
+// progress-watchdog trip) when a run fails instead of the process dying.
+const BenchSchema = "hastm-bench/4"
 
 // SchedRecord is the host-side scheduler-efficiency block of a cell: how
 // many architectural ops the simulator granted and how many scheduler
@@ -47,6 +51,9 @@ type CellRecord struct {
 	Stats            stats.Totals      `json:"stats,omitempty"`
 	Telemetry        *telemetry.Totals `json:"telemetry,omitempty"`
 	Sched            *SchedRecord      `json:"sched,omitempty"`
+	// Error is the cell's contained failure report ("" = the run
+	// succeeded): a recovered core panic or a progress-watchdog violation.
+	Error string `json:"error,omitempty"`
 }
 
 // BenchJSON is the full `hastm-bench -json` document: run metadata, every
@@ -88,6 +95,7 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 				Label:      c.Label,
 				WallCycles: c.Metrics().WallCycles,
 				HostMS:     float64(c.HostNS) / 1e6,
+				Error:      c.Err,
 			}
 			if c.HostNS > 0 {
 				rec.CyclesPerHostSec = float64(c.Metrics().WallCycles) / (float64(c.HostNS) / 1e9)

@@ -23,6 +23,12 @@ type Cell struct {
 	Label string
 	// HostNS is the host wall time the cell took, for -progress and -json.
 	HostNS int64
+	// Err is non-empty when the cell's run failed — a contained core
+	// panic, a tripped progress watchdog, or any other panic out of the
+	// cell function. A failed cell still counts as executed (its metrics
+	// are whatever the run produced before failing, often zero), so
+	// assembly proceeds and the caller decides how loudly to fail.
+	Err string
 
 	fn      func() RunMetrics
 	metrics RunMetrics
@@ -44,9 +50,34 @@ func (c *Cell) WallCycles() uint64 { return c.Metrics().WallCycles }
 
 func (c *Cell) execute() {
 	start := time.Now()
-	c.metrics = c.fn()
+	// Contain cell failures (the simulator already turns core panics and
+	// watchdog trips into structured errors; runStructure re-panics them)
+	// so one bad cell fails its own slot instead of killing the whole
+	// sweep's worker pool.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.Err = fmt.Sprint(r)
+			}
+		}()
+		c.metrics = c.fn()
+	}()
 	c.HostNS = time.Since(start).Nanoseconds()
 	c.done = true
+}
+
+// FailedCells returns every executed cell with a non-empty Err, in plan
+// and declaration order — the exit-status signal for hastm-bench.
+func FailedCells(plans []*Plan) []*Cell {
+	var failed []*Cell
+	for _, p := range plans {
+		for _, c := range p.Cells {
+			if c.done && c.Err != "" {
+				failed = append(failed, c)
+			}
+		}
+	}
+	return failed
 }
 
 // A Plan is one figure decomposed into its independent cells plus a pure
@@ -172,8 +203,12 @@ func Execute(plans []*Plan, cfg ExecConfig) []*Report {
 			return
 		}
 		n := completed.Add(1)
-		pw.Printf("[%3d/%3d] %-16s %-28s %8.1fms  %d cycles\n",
-			n, len(cells), c.Figure, c.Label, float64(c.HostNS)/1e6, c.metrics.WallCycles)
+		status := ""
+		if c.Err != "" {
+			status = "  FAILED"
+		}
+		pw.Printf("[%3d/%3d] %-16s %-28s %8.1fms  %d cycles%s\n",
+			n, len(cells), c.Figure, c.Label, float64(c.HostNS)/1e6, c.metrics.WallCycles, status)
 	}
 
 	if workers <= 1 {

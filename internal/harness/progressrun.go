@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hastm.dev/hastm/internal/faults"
+	"hastm.dev/hastm/internal/htm"
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/telemetry"
+	"hastm.dev/hastm/internal/workloads"
+)
+
+// Adversarial workload names (the progress-guarantee suite).
+const (
+	AdversarialStorm  = "writer-storm"
+	AdversarialStarve = "starvation"
+)
+
+// AdversarialWorkloads lists the progress suite's cells.
+func AdversarialWorkloads() []string { return []string{AdversarialStorm, AdversarialStarve} }
+
+// AdversarialSchemes returns the schemes the progress suite exercises:
+// each has its own descent ladder (STM retries -> irrevocable; HASTM
+// aggressive -> cautious -> irrevocable; HyTM hardware -> STM ->
+// irrevocable).
+func AdversarialSchemes() []string { return []string{SchemeSTM, SchemeHASTM, SchemeHyTM} }
+
+// Adversarial cell sizing. Fixed (not Options-scaled): the cells exist to
+// demonstrate pathologies, and the pathologies need a specific shape —
+// few highly contended lines and wide conflict windows.
+const (
+	stormLines = 4     // contended cache lines
+	stormOps   = 6     // transactions each core must commit
+	stormPad   = 12000 // cycles between accesses inside a storm transaction
+	starvePad  = 2000  // cycles between the reader's loads / inside writer RMWs
+
+	// AdversarialRetryBudget is the ladder budget the suite arms: small,
+	// so escalation happens within a few aborts and the cells finish
+	// quickly once serialised.
+	AdversarialRetryBudget = 1
+	// AdversarialCycleBudget bounds each adversarial run. It is sized with
+	// a wide margin above what the ladder-enabled runs need and below what
+	// the ladder-disabled storm burns, so "no ladder => budget exceeded"
+	// is a stable, deterministic outcome.
+	AdversarialCycleBudget = 8_000_000
+	// AdversarialWatchdogWindow is the commit-progress window for the
+	// suite: generous against legitimate dry spells (token waits), tight
+	// enough to catch a full commit stall well before the cycle budget.
+	AdversarialWatchdogWindow = 4_000_000
+)
+
+// AdversarialOptions derives the progress suite's run configuration from a
+// base Options (which contributes the seed and the scheduler switch).
+// ladder arms the escalation ladder; the watchdogs are always on — the
+// suite's failure mode without them is a literal hang.
+func AdversarialOptions(base Options, ladder bool) Options {
+	o := base
+	o.WatchdogWindow = AdversarialWatchdogWindow
+	o.CycleBudget = AdversarialCycleBudget
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 30 * time.Second
+	}
+	o.RetryBudget = 0
+	if ladder {
+		o.RetryBudget = AdversarialRetryBudget
+	}
+	return o
+}
+
+// ProgressReport is the outcome of one adversarial progress cell. Every
+// field is derived from simulated state, so reports are DeepEqual across
+// -j levels and schedulers — the property the progress conformance test
+// asserts.
+type ProgressReport struct {
+	Scheme   string
+	Workload string
+	Cores    int
+	Ladder   bool
+
+	WallCycles         uint64
+	Commits            uint64
+	Escalations        uint64
+	IrrevocableEntries uint64
+	IrrevocableCycles  uint64
+
+	// Err is the failure ("" = the run completed and verified): a rendered
+	// watchdog violation, a contained core panic, or a structure-invariant
+	// failure. Detail carries the full multi-line diagnosis when one exists.
+	Err    string
+	Detail string
+}
+
+// Verdict renders the outcome for tables.
+func (r ProgressReport) Verdict() string {
+	if r.Err == "" {
+		return "ok"
+	}
+	return "FAIL: " + r.Err
+}
+
+// ProgressRun executes one adversarial cell: build the machine with the
+// watchdogs from o, run the workload's asymmetric per-core programs, then
+// check health and verify the structure invariant. Watchdog trips and
+// contained panics land in the report, never as a hang or a raw panic.
+func ProgressRun(scheme, workload string, cores int, o Options) ProgressReport {
+	return progressRun(scheme, workload, cores, o, nil)
+}
+
+// ProgressRunFaulted is ProgressRun with the fault-injection plane
+// attached: the escalation ladder must keep its guarantees while cores
+// are suspended, lines evicted and snoops injected underneath it.
+func ProgressRunFaulted(scheme, workload string, cores int, o Options, spec faults.Spec) ProgressReport {
+	return progressRun(scheme, workload, cores, o, &spec)
+}
+
+func progressRun(scheme, workload string, cores int, o Options, spec *faults.Spec) ProgressReport {
+	rep := ProgressReport{
+		Scheme: scheme, Workload: workload, Cores: cores,
+		Ladder: o.RetryBudget > 0,
+	}
+	machine := machineFor(cores, o)
+	// Attach a diagnostic trace so a violation report carries the last
+	// events before the stall — the "what was everyone doing" evidence.
+	machine.SetTrace(sim.NewTraceBuffer(1 << 15))
+	var plane *faults.Plane
+	if spec != nil {
+		plane = faults.Attach(machine, *spec)
+	}
+	sys := buildExtScheme(scheme, machine, cores, o)
+	if plane != nil {
+		if hs, ok := sys.(*htm.System); ok {
+			plane.RegisterHTMAborter(hs.Manager().InjectSpuriousAbort)
+		}
+	}
+
+	runErrs := make([]error, cores)
+	progs := make([]sim.Program, cores)
+	var verify func() error
+	switch workload {
+	case AdversarialStorm:
+		st := workloads.NewWriterStorm(machine.Mem, stormLines, stormOps, stormPad)
+		for i := range progs {
+			id := i
+			progs[i] = func(c *sim.Ctx) { runErrs[id] = st.RunThread(sys.Thread(c), id) }
+		}
+		verify = func() error { return st.Verify(machine.Mem, cores) }
+	case AdversarialStarve:
+		sv := workloads.NewStarvation(machine.Mem, cores-1, starvePad)
+		for i := range progs {
+			id := i
+			if id == 0 {
+				progs[i] = func(c *sim.Ctx) { runErrs[0] = sv.RunReader(sys.Thread(c)) }
+			} else {
+				progs[i] = func(c *sim.Ctx) { runErrs[id] = sv.RunWriter(sys.Thread(c), id) }
+			}
+		}
+		verify = func() error { return sv.Verify(machine.Mem) }
+	default:
+		rep.Err = fmt.Sprintf("unknown adversarial workload %q", workload)
+		return rep
+	}
+
+	rep.WallCycles = machine.Run(progs...)
+	tot := machine.Telem.Totals()
+	rep.Escalations = tot.Counters[telemetry.Escalations.String()]
+	rep.IrrevocableEntries = tot.Counters[telemetry.IrrevocableEntries.String()]
+	rep.IrrevocableCycles = tot.Counters[telemetry.IrrevocableCyclesHeld.String()]
+	rep.Commits = machine.Stats.Totals().Commits
+
+	if err := machine.CheckHealth(); err != nil {
+		rep.Err = err.Error()
+		if v := machine.Violation(); v != nil {
+			rep.Detail = v.String()
+		} else if fs := machine.Faults(); len(fs) > 0 {
+			rep.Detail = renderFault(fs[0])
+		}
+		return rep
+	}
+	for id, err := range runErrs {
+		if err != nil {
+			rep.Err = fmt.Sprintf("thread %d: %v", id, err)
+			return rep
+		}
+	}
+	if err := verify(); err != nil {
+		rep.Err = err.Error()
+	}
+	return rep
+}
+
+func renderFault(f sim.CoreFault) string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}
+
+// ProgressPlan builds the adversarial sweep — every AdversarialSchemes
+// scheme × the adversarial workloads (or just the one named by filter) —
+// as a Plan for the standard worker pool, with verdicts in the returned
+// slots in cell declaration order.
+func ProgressPlan(base Options, cores int, ladder bool, filter string) (*Plan, []*ProgressReport) {
+	o := AdversarialOptions(base, ladder)
+	p := newPlan("adversarial")
+	var reports []*ProgressReport
+	for _, scheme := range AdversarialSchemes() {
+		for _, workload := range AdversarialWorkloads() {
+			if filter != "" && workload != filter {
+				continue
+			}
+			slot := &ProgressReport{}
+			reports = append(reports, slot)
+			s, w := scheme, workload
+			p.cell(fmt.Sprintf("%s/%s/%d", s, w, cores), func() RunMetrics {
+				*slot = ProgressRun(s, w, cores, o)
+				return RunMetrics{WallCycles: slot.WallCycles}
+			})
+		}
+	}
+	p.Assemble = func() *Report { return nil }
+	return p, reports
+}

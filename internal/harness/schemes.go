@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"hastm.dev/hastm/internal/cache"
 	"hastm.dev/hastm/internal/core"
@@ -47,6 +48,26 @@ type Options struct {
 	// differential suite proves it); the switch exists for A/B host-perf
 	// measurement and as the safety net behind the fast path.
 	ReferenceScheduler bool
+	// WatchdogWindow, when positive, arms the simulator's commit-progress
+	// watchdog: if no transaction commits on any core for this many
+	// simulated cycles, the run fails with a diagnosable
+	// sim.ProgressViolation instead of spinning forever.
+	WatchdogWindow uint64
+	// CycleBudget, when positive, is a hard per-run ceiling on the
+	// simulated clock; exceeding it fails the run with a ProgressViolation.
+	CycleBudget uint64
+	// StallTimeout, when positive, arms the host-deadlock detector: if the
+	// simulator grants no architectural operation for this much host wall
+	// time, the run is declared wedged and fails with a report instead of
+	// hanging the process. This is the only host-time-keyed knob; it never
+	// affects simulated results, only whether a wedged run is cut short.
+	StallTimeout time.Duration
+	// RetryBudget, when positive, enables the irrevocable escalation
+	// ladder on the transactional schemes: a transaction that aborts
+	// RetryBudget times escalates to serial irrevocable mode (global token,
+	// no abort path), which bounds retries under adversarial contention.
+	// 0 leaves the ladder off — the standard figure configuration.
+	RetryBudget int
 }
 
 // DefaultOptions returns the full-size evaluation parameters.
@@ -80,6 +101,9 @@ func machineFor(cores int, o Options) *sim.Machine {
 	cfg := sim.DefaultConfig(cores)
 	cfg.DefaultISA = o.DefaultISA
 	cfg.ReferenceScheduler = o.ReferenceScheduler
+	cfg.WatchdogWindow = o.WatchdogWindow
+	cfg.CycleBudget = o.CycleBudget
+	cfg.StallTimeout = o.StallTimeout
 	cfg.L1 = cache.Config{SizeBytes: 32 << 10, Assoc: 8}
 	// The shared inclusive L2 is deliberately smaller than the combined
 	// footprint of the structures and the transaction-record table: the
@@ -111,18 +135,30 @@ const (
 	SchemeHTM      = "htm"
 )
 
+// SchemeIrrevocable is HASTM with the escalation ladder armed at a fixed
+// retry budget — the ext-irrevocable ablation's subject. On the standard
+// figure workloads the budget never trips, so it must match plain HASTM.
+const SchemeIrrevocable = "hastm-irrevocable"
+
+// IrrevocableDefaultBudget is the ladder budget the hastm-irrevocable
+// scheme (and the adversarial suite) uses when Options.RetryBudget is 0.
+const IrrevocableDefaultBudget = 8
+
 // buildScheme instantiates a scheme on a machine. threads is the number of
 // worker threads the run will use (the HASTM watermark controller treats
-// single-threaded runs specially, §6).
+// single-threaded runs specially, §6). o contributes only the escalation
+// ladder's retry budget, never sizes.
 // stmObject builds the base STM at object granularity.
 func stmObject(m *sim.Machine) tm.System {
 	return stm.New(m, tm.Config{Granularity: tm.ObjectGranularity, ValidateEvery: 128})
 }
 
-func buildScheme(name string, m *sim.Machine, threads int) tm.System {
+func buildScheme(name string, m *sim.Machine, threads int, o Options) tm.System {
 	stmCfg := tm.Config{Granularity: tm.LineGranularity, ValidateEvery: 128}
+	stmCfg.Progress.RetryBudget = o.RetryBudget
 	hastmCfg := core.DefaultConfig(tm.LineGranularity)
 	hastmCfg.SingleThread = threads == 1
+	hastmCfg.TM.Progress.RetryBudget = o.RetryBudget
 	switch name {
 	case SchemeSeq:
 		return locksync.NewSeq(m)
@@ -200,6 +236,7 @@ func validateConfig(scheme, workload string, cores int) error {
 		SchemeSeq, SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious,
 		SchemeNoReuse, SchemeNaive, SchemeHyTM, SchemeHTM,
 		SchemeWFilter, SchemeInterAtomic, SchemeObjHASTM, SchemeObjSTM, SchemeWatermark,
+		SchemeIrrevocable,
 	} {
 		if scheme == s {
 			known = true
@@ -248,7 +285,7 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 		xb = telemetry.NewTraceBuffer(o.TxnTraceMax)
 		machine.SetTxnTrace(xb)
 	}
-	sys := buildExtScheme(scheme, machine, cores)
+	sys := buildExtScheme(scheme, machine, cores, o)
 	ds := buildStructure(workload, machine.Mem, o)
 	ds.Populate(machine.Mem, workloads.NewRand(o.Seed))
 
@@ -326,7 +363,7 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 			wall = d
 		}
 	}
-	return RunMetrics{
+	metrics := RunMetrics{
 		WallCycles: wall,
 		Stats:      machine.Stats,
 		CacheStats: machine.Caches,
@@ -334,7 +371,24 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 		Trace:      tb,
 		TxnTrace:   xb,
 		Sched:      machine.Sched(),
-	}, nil
+	}
+	// A core panic (contained at the grant boundary) or a tripped watchdog
+	// fails the run with its structured report rather than surfacing a raw
+	// panic or a partial, silently wrong result.
+	if err := machine.CheckHealth(); err != nil {
+		return metrics, err
+	}
+	return metrics, nil
+}
+
+// mustHealthy panics with the machine's contained failure report, if any.
+// Run call sites that cannot return an error use it so a contained core
+// panic or watchdog trip still fails the cell loudly instead of yielding
+// a silently truncated result.
+func mustHealthy(m *sim.Machine) {
+	if err := m.CheckHealth(); err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
 }
 
 // runMicro executes the Fig 15 microbenchmark kernel single-threaded. A
@@ -344,7 +398,7 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 // rather than compulsory misses.
 func runMicro(scheme string, loadPct, loadReuse int, o Options) RunMetrics {
 	machine := machineFor(1, o)
-	sys := buildScheme(scheme, machine, 1)
+	sys := buildScheme(scheme, machine, 1, o)
 	// A region small enough to stay L1-resident: the paper's kernel
 	// models intra-transaction locality, not capacity misses.
 	mi := workloads.NewMicro(machine.Mem, 256)
@@ -378,5 +432,6 @@ func runMicro(scheme string, loadPct, loadReuse int, o Options) RunMetrics {
 		runTxns(o.MicroTxns)
 		wall = c.Clock() - start
 	})
+	mustHealthy(machine)
 	return RunMetrics{WallCycles: wall, Stats: machine.Stats, Telem: machine.Telem, Sched: machine.Sched()}
 }

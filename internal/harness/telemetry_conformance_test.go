@@ -64,7 +64,7 @@ func TestRetryEventsCarryFootprint(t *testing.T) {
 	machine := machineFor(2, QuickOptions())
 	xb := telemetry.NewTraceBuffer(0)
 	machine.SetTxnTrace(xb)
-	sys := buildScheme(SchemeSTM, machine, 2)
+	sys := buildScheme(SchemeSTM, machine, 2, QuickOptions())
 	flag := machine.Mem.Alloc(64, 64)
 	s1 := machine.Mem.Alloc(64, 64)
 	s2 := machine.Mem.Alloc(64, 64)
@@ -129,7 +129,7 @@ func TestBodyErrorEmitsTerminalEvent(t *testing.T) {
 	machine := machineFor(1, QuickOptions())
 	xb := telemetry.NewTraceBuffer(0)
 	machine.SetTxnTrace(xb)
-	sys := buildScheme(SchemeSTM, machine, 1)
+	sys := buildScheme(SchemeSTM, machine, 1, QuickOptions())
 	cell := machine.Mem.Alloc(64, 64)
 
 	machine.Run(func(c *sim.Ctx) {

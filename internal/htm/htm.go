@@ -172,6 +172,12 @@ func (s *System) Thread(ctx *sim.Ctx) tm.Thread {
 	t := &Thread{sys: s, ctx: ctx, backoff: tm.NewBackoff(ctx.ID())}
 	if s.fallback != nil {
 		t.sw = s.fallback.Thread(ctx)
+		// The hardware path shares the software fallback's irrevocable
+		// token (nil when the ladder is disabled): hardware attempts are
+		// revocable participants in the same handshake, so an escalated
+		// software transaction drains them too.
+		t.tok = s.fallback.Progress().Token
+		t.ladder = tm.NewBackoff(ctx.ID())
 	}
 	return t
 }
@@ -191,6 +197,11 @@ type Thread struct {
 	depth   int
 	txnSeq  uint64 // per-thread transaction id, stable across retries
 	attempt int
+
+	// Escalation-ladder handshake, shared with the software fallback (nil
+	// when Progress is disabled).
+	tok    *tm.IrrevocableToken
+	ladder *tm.Backoff
 }
 
 var (
@@ -225,7 +236,8 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 				Kind: telemetry.EvFallback, Cause: "attempts-exhausted"})
 			return t.sw.Atomic(body)
 		}
-		err, outcome := t.try(body)
+		t.ctx.SetStatus("htm", attempt)
+		err, outcome := t.try(t.tok, body)
 		switch outcome {
 		case outcomeCommit:
 			t.backoff.Reset()
@@ -258,8 +270,24 @@ const (
 	outcomeRetrySW
 )
 
-// try runs one hardware attempt.
-func (t *Thread) try(body func(tm.Txn) error) (err error, out outcome) {
+// try runs one hardware attempt. When the ladder is active (tok non-nil)
+// the attempt is bracketed as a revocable participant of the irrevocable
+// handshake: announce before beginning, withdraw on every outcome path —
+// so an escalated software transaction's drain covers hardware attempts
+// too. (A foreign panic skips the withdrawal; the run is failing into
+// panic containment at that point.)
+func (t *Thread) try(tok *tm.IrrevocableToken, body func(tm.Txn) error) (err error, out outcome) {
+	if tok != nil {
+		prev := t.ctx.SetCat(stats.Lock)
+		tok.EnterShared(t.ctx, t.ladder)
+		t.ctx.SetCat(prev)
+		t.ladder.Reset()
+		defer func() {
+			prev := t.ctx.SetCat(stats.Lock)
+			tok.ExitShared(t.ctx)
+			t.ctx.SetCat(prev)
+		}()
+	}
 	t.begin()
 	t.depth = 1
 	defer func() { t.depth = 0 }()
@@ -311,6 +339,7 @@ func (t *Thread) try(body func(tm.Txn) error) (err error, out outcome) {
 		Kind: telemetry.EvCommit, Reads: len(t.cur.reads), Writes: len(t.cur.writes)})
 	t.endCommitted()
 	t.stats().Commits++
+	t.ctx.NoteCommit()
 	return nil, outcomeCommit
 }
 

@@ -68,6 +68,10 @@ func (t *lockThread) Atomic(body func(tm.Txn) error) error {
 		t.held = false
 		t.release()
 		t.ctx.Machine().Stats.Cores[t.ctx.ID()].Commits++
+		// A lock-based critical section always completes, so the escalation
+		// ladder's retry budget can never trip; the commit note alone keeps
+		// the progress watchdog fed.
+		t.ctx.NoteCommit()
 	}()
 	return body(t)
 }
@@ -178,6 +182,7 @@ func (t *seqThread) Atomic(body func(tm.Txn) error) error {
 	defer func() {
 		t.in = false
 		t.ctx.Machine().Stats.Cores[t.ctx.ID()].Commits++
+		t.ctx.NoteCommit()
 	}()
 	return body(t)
 }

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hastm.dev/hastm/internal/mem"
+)
+
+// A run where no core ever reports a commit must trip the commit-progress
+// watchdog with a structured violation instead of spinning to completion.
+func TestCommitStallTripsWatchdog(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.WatchdogWindow = 10_000
+	m := New(cfg)
+	m.Run(func(c *Ctx) {
+		c.SetStatus("spin", 3)
+		for i := 0; i < 100_000; i++ {
+			c.Exec(1)
+		}
+	}, func(c *Ctx) {
+		for i := 0; i < 100_000; i++ {
+			c.Exec(1)
+		}
+	})
+	v := m.Violation()
+	if v == nil {
+		t.Fatal("no commit for 100k cycles and the 10k watchdog did not trip")
+	}
+	if v.Kind != KindCommitStall {
+		t.Fatalf("violation kind = %q, want %q", v.Kind, KindCommitStall)
+	}
+	if len(v.Cores) != 2 {
+		t.Fatalf("violation snapshots %d cores, want 2", len(v.Cores))
+	}
+	snap := v.Cores[0]
+	if snap.Status != "spin" || snap.Attempt != 3 {
+		t.Errorf("core 0 snapshot status=%q attempt=%d, want spin/3", snap.Status, snap.Attempt)
+	}
+	if err := m.CheckHealth(); err == nil || !strings.Contains(err.Error(), "ProgressViolation") {
+		t.Errorf("CheckHealth = %v, want a ProgressViolation", err)
+	}
+}
+
+// NoteCommit feeds the watchdog: a run that commits regularly inside the
+// window must not trip it.
+func TestCommitsFeedWatchdog(t *testing.T) {
+	cfg := tinyConfig(1)
+	cfg.WatchdogWindow = 10_000
+	m := New(cfg)
+	m.Run(func(c *Ctx) {
+		for i := 0; i < 50; i++ {
+			c.Exec(5_000)
+			c.NoteCommit()
+		}
+	})
+	if v := m.Violation(); v != nil {
+		t.Fatalf("watchdog tripped on a committing run: %v", v)
+	}
+}
+
+// Exceeding the hard cycle budget fails the run even while commits flow —
+// the backstop for "livelocks" that still commit occasionally (and for
+// the starvation cell, where the starved core never commits but everyone
+// else does).
+func TestCycleBudgetTrips(t *testing.T) {
+	cfg := tinyConfig(1)
+	cfg.CycleBudget = 50_000
+	m := New(cfg)
+	m.Run(func(c *Ctx) {
+		for i := 0; i < 1000; i++ {
+			c.Exec(1_000)
+			c.NoteCommit()
+		}
+	})
+	v := m.Violation()
+	if v == nil {
+		t.Fatal("cycle budget 50k not enforced over a 1M-cycle program")
+	}
+	if v.Kind != KindCycleBudget {
+		t.Fatalf("violation kind = %q, want %q", v.Kind, KindCycleBudget)
+	}
+	if v.TripClock <= cfg.CycleBudget {
+		t.Errorf("trip clock %d not past the budget %d", v.TripClock, cfg.CycleBudget)
+	}
+}
+
+// Watchdog trips must be identical under the lease and the reference
+// schedulers: same kind, same trip core, same clocks, same snapshots.
+func TestViolationSchedulerIdentical(t *testing.T) {
+	run := func(reference bool) *ProgressViolation {
+		cfg := tinyConfig(2)
+		cfg.ReferenceScheduler = reference
+		cfg.WatchdogWindow = 8_000
+		m := New(cfg)
+		shared := m.Mem.Alloc(mem.LineSize, mem.LineSize)
+		prog := func(c *Ctx) {
+			for i := 0; i < 50_000; i++ {
+				c.Load(shared)
+			}
+		}
+		m.Run(prog, prog)
+		return m.Violation()
+	}
+	lease, ref := run(false), run(true)
+	if lease == nil || ref == nil {
+		t.Fatalf("watchdog did not trip under both schedulers: lease=%v ref=%v", lease, ref)
+	}
+	if !reflect.DeepEqual(lease, ref) {
+		t.Errorf("violations differ between schedulers:\n%+v\n%+v", lease, ref)
+	}
+}
+
+// A panicking core program must be contained at the grant boundary: the
+// run completes (no hang, no process crash), the fault is reported with
+// core, clock and stack, and sibling cores are stopped at their next
+// grant rather than running to completion.
+func TestCorePanicContained(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.WatchdogWindow = 1 << 40 // arm the watch plane without a realistic window
+	m := New(cfg)
+	sibDone := false
+	m.Run(func(c *Ctx) {
+		c.Exec(100)
+		panic("injected core fault")
+	}, func(c *Ctx) {
+		for i := 0; i < 1_000_000; i++ {
+			c.Exec(1)
+		}
+		sibDone = true
+	})
+	faults := m.Faults()
+	if len(faults) != 1 {
+		t.Fatalf("faults = %d, want 1", len(faults))
+	}
+	f := faults[0]
+	if f.Core != 0 || !strings.Contains(f.Value, "injected core fault") || f.Stack == "" {
+		t.Errorf("fault = %+v, want core 0 with value and stack", f)
+	}
+	if sibDone {
+		t.Error("sibling core ran to completion after the fault instead of stopping at a grant")
+	}
+	if err := m.CheckHealth(); err == nil || !strings.Contains(err.Error(), "CoreFault") {
+		t.Errorf("CheckHealth = %v, want the CoreFault", err)
+	}
+}
+
+// Without the watch plane armed, a panic is still contained and reported
+// (containment is unconditional; only the watchdogs are optional).
+func TestCorePanicContainedWithoutWatchdogs(t *testing.T) {
+	m := New(tinyConfig(1))
+	m.Run(func(c *Ctx) {
+		c.Exec(10)
+		panic("bare panic")
+	})
+	if err := m.CheckHealth(); err == nil || !strings.Contains(err.Error(), "bare panic") {
+		t.Errorf("CheckHealth = %v, want the contained panic", err)
+	}
+}
+
+// A program that blocks forever in host code (not on simulated work) is a
+// host deadlock: the stall monitor must cut the run short with a
+// host-deadlock violation instead of hanging the process.
+func TestHostDeadlockDetected(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.StallTimeout = 100 * time.Millisecond
+	m := New(cfg)
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(func(c *Ctx) {
+			c.Exec(10)
+			<-block // never closed: a real host-side deadlock
+		}, func(c *Ctx) {
+			for i := 0; i < 1_000_000; i++ {
+				c.Exec(1)
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return: host deadlock not detected")
+	}
+	v := m.Violation()
+	if v == nil {
+		t.Fatal("no host-deadlock violation recorded")
+	}
+	if v.Kind != KindHostDeadlock {
+		t.Fatalf("violation kind = %q, want %q", v.Kind, KindHostDeadlock)
+	}
+	found := false
+	for _, s := range v.Cores {
+		if s.Unresponsive {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no core marked unresponsive in the host-deadlock report")
+	}
+	close(block) // release the leaked goroutine
+}
+
+// Violations carry the tail of the diagnostic trace when one is attached.
+func TestViolationCarriesRecentTrace(t *testing.T) {
+	cfg := tinyConfig(1)
+	cfg.WatchdogWindow = 5_000
+	m := New(cfg)
+	tb := NewTraceBuffer(1 << 12)
+	m.SetTrace(tb)
+	m.Run(func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.TraceEvent("spin", "round")
+			c.Exec(1_000)
+		}
+	})
+	v := m.Violation()
+	if v == nil {
+		t.Fatal("watchdog did not trip")
+	}
+	if len(v.RecentTrace) == 0 {
+		t.Fatal("violation carries no recent trace despite an attached buffer")
+	}
+	if len(v.RecentTrace) > recentTraceTail {
+		t.Errorf("recent trace %d events, cap is %d", len(v.RecentTrace), recentTraceTail)
+	}
+}
+
+// The violation report renders without panicking and includes per-core
+// rows (a smoke test for the diagnosis formatting).
+func TestViolationRender(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.CycleBudget = 10_000
+	m := New(cfg)
+	prog := func(c *Ctx) {
+		for i := 0; i < 100_000; i++ {
+			c.Exec(1)
+		}
+	}
+	m.Run(prog, prog)
+	v := m.Violation()
+	if v == nil {
+		t.Fatal("no violation")
+	}
+	out := v.String()
+	for _, want := range []string{"ProgressViolation", "cycle-budget", "core"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered violation missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,6 +33,9 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"hastm.dev/hastm/internal/cache"
 	"hastm.dev/hastm/internal/mem"
@@ -130,6 +133,25 @@ type Config struct {
 	// switch exists as the executable specification the fast path is
 	// checked against, not as a user-facing mode.
 	ReferenceScheduler bool
+
+	// WatchdogWindow, if non-zero, arms the commit-progress watchdog: when
+	// no core publishes a commit for this many simulated cycles, the run
+	// fails with a structured ProgressViolation instead of spinning
+	// forever. Checked at grant points, so the trip is deterministic.
+	WatchdogWindow uint64
+
+	// CycleBudget, if non-zero, is a hard cap on any core's simulated
+	// clock: the first granted operation starting beyond it fails the run
+	// with a ProgressViolation. A backstop against runaway cells.
+	CycleBudget uint64
+
+	// StallTimeout, if non-zero, arms the host-side deadlock detector: if
+	// no architectural operation is granted for this much host (wall) time,
+	// the run is declared stalled — all core goroutines are blocked in host
+	// code — and fails with a ProgressViolation instead of hanging. This is
+	// the only watchdog keyed to host time, so it fires only on true host
+	// deadlocks, never at a simulated-cycle-deterministic point.
+	StallTimeout time.Duration
 }
 
 // DefaultConfig returns the quad-core configuration modelled on the paper's
@@ -163,6 +185,21 @@ type Machine struct {
 	trace    *TraceBuffer
 	txnTrace *telemetry.TraceBuffer
 	fault    FaultHook
+
+	// Progress-guarantee state (see progress.go). watch is true when any
+	// watchdog is armed; it gates all per-grant duties behind one branch so
+	// unarmed machines (micro-benchmarks) pay nothing on the hot path.
+	watch      bool
+	failed     atomic.Bool
+	violation  *ProgressViolation // written once, under the grant (or by the scheduler on stall)
+	lastCommit uint64             // clock of the most recently published commit; grant-holder only
+	doneCores  []bool             // scheduler-maintained completion map
+	stalled    bool               // host-deadlock detector fired; skip the post-run core scan
+	beat       atomic.Uint64      // grant heartbeat for the host stall monitor
+	stallC     chan struct{}      // closed by the stall monitor on heartbeat stagnation
+	stopMon    chan struct{}      // closed by Run to retire the stall monitor
+	faultsMu   sync.Mutex
+	faults     []CoreFault
 }
 
 // SchedCounters is the scheduler's observability block: how many
@@ -239,6 +276,8 @@ func New(cfg Config) *Machine {
 		Telem:  telemetry.NewMachine(cfg.Cores),
 		events: make(chan event),
 	}
+	m.watch = cfg.WatchdogWindow > 0 || cfg.CycleBudget > 0 || cfg.StallTimeout > 0
+	m.doneCores = make([]bool, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &Ctx{
 			m:      m,
@@ -291,18 +330,39 @@ func (m *Machine) Run(progs ...Program) uint64 {
 		running++
 		active[i] = true
 		go func(c *Ctx, p Program) {
+			// Panic containment: anything the program panics with — except
+			// the internal stop signal that unwinds cores after a watchdog
+			// trip — becomes a CoreFault report, and the core still runs
+			// its completion protocol so the scheduler never hangs.
+			defer func() {
+				if r := recover(); r != nil && !IsStop(r) {
+					m.recordFault(c, r)
+				}
+				// One final grant to report completion deterministically. A
+				// core still holding a lease is strictly below the horizon,
+				// so it IS the unique min-clock core and the completion
+				// grant is already its — consume it inline.
+				if !c.leased {
+					<-c.resume
+				}
+				c.leased = false
+				if m.watch {
+					// Publish final per-core progress under the completion
+					// grant, so watchdog snapshots see it race-free.
+					c.publishProgress()
+				}
+				m.sched.Grants++
+				m.events <- event{core: c.id, finished: true}
+			}()
 			p(c)
-			// One final grant to report completion deterministically. A
-			// core still holding a lease is strictly below the horizon, so
-			// it IS the unique min-clock core and the completion grant is
-			// already its — consume it inline.
-			if !c.leased {
-				<-c.resume
-			}
-			c.leased = false
-			m.sched.Grants++
-			m.events <- event{core: c.id, finished: true}
 		}(m.cores[i], p)
+	}
+
+	if m.cfg.StallTimeout > 0 {
+		m.stallC = make(chan struct{})
+		m.stopMon = make(chan struct{})
+		go m.stallMonitor()
+		defer close(m.stopMon)
 	}
 
 	if m.cfg.ReferenceScheduler {
@@ -311,6 +371,11 @@ func (m *Machine) Run(progs ...Program) uint64 {
 		m.runLease(running, active)
 	}
 
+	if m.stalled {
+		// Core goroutines are blocked in host code; their clocks are not
+		// safely readable. The violation report carries the snapshot.
+		return 0
+	}
 	var wall uint64
 	for _, c := range m.cores {
 		if c.clock > wall {
@@ -336,10 +401,16 @@ func (m *Machine) runReference(running int, active []bool) {
 			}
 		}
 		m.sched.Leases++
-		m.cores[pick].resume <- struct{}{}
-		ev := <-m.events
+		if !m.grantTo(m.cores[pick]) {
+			return // host deadlock: no core can accept a grant
+		}
+		ev, ok := m.awaitEvent(pick)
+		if !ok {
+			return // host deadlock: the granted core never completed its op
+		}
 		if ev.finished {
 			active[ev.core] = false
+			m.noteFinished(ev.core)
 			running--
 		}
 	}
@@ -369,9 +440,15 @@ func (m *Machine) runLease(running int, active []bool) {
 			c.horizon = ^uint64(0) // alone: run to completion, zero handoffs
 		}
 		m.sched.Leases++
-		c.resume <- struct{}{}
-		ev := <-m.events
+		if !m.grantTo(c) {
+			return // host deadlock: no core can accept a grant
+		}
+		ev, ok := m.awaitEvent(e.id)
+		if !ok {
+			return // host deadlock: the granted core never completed its op
+		}
 		if ev.finished {
+			m.noteFinished(ev.core)
 			running--
 		} else {
 			h.push(heapEntry{clock: m.cores[ev.core].clock, id: ev.core})
@@ -468,6 +545,20 @@ type Ctx struct {
 
 	cat   stats.Category
 	telem *telemetry.Block
+
+	// Progress-reporting state (see progress.go). NoteCommit/SetStatus run
+	// in host code between grants, so they write only the pending fields;
+	// progressDuties copies them to the published fields under the grant,
+	// where watchdog snapshots (always taken by a grant holder) can read
+	// them race-free via the scheduler's happens-before chain.
+	commits        uint64 // core-local commit count (host-side)
+	pendingCommit  bool
+	pendingLabel   string
+	pendingAttempt int
+	statusDirty    bool
+	pubCommits     uint64 // published under the grant
+	statLabel      string
+	statAttempt    int
 }
 
 // ID returns the core number.
@@ -513,6 +604,9 @@ func (c *Ctx) acquire() {
 		c.leased = true
 	}
 	c.m.sched.Grants++
+	if c.m.watch {
+		c.progressDuties()
+	}
 	if iv := c.m.cfg.InterruptEvery; iv > 0 && (c.clock-c.lastInterrupt) >= iv {
 		c.lastInterrupt = c.clock
 		// The interrupt path executes resetmarkall before resuming (§5).

@@ -33,8 +33,14 @@ func NewWithAccel(name string, machine *sim.Machine, cfg tm.Config, factory func
 
 // NewWithTable is NewWithAccel with an externally owned record table, so a
 // hybrid scheme's hardware path and its software fallback can detect
-// conflicts against the same records.
+// conflicts against the same records. When the escalation ladder is
+// enabled (Progress.RetryBudget > 0) and no token was supplied, one is
+// allocated here; schemes sharing a record table should also share a token
+// (pass it in Config.Progress.Token).
 func NewWithTable(name string, machine *sim.Machine, cfg tm.Config, factory func(*Thread) Accel, table *RecordTable) *System {
+	if cfg.Progress.RetryBudget > 0 && cfg.Progress.Token == nil {
+		cfg.Progress.Token = tm.NewIrrevocableToken(machine.Mem, machine.Config().Cores)
+	}
 	return &System{
 		name:    name,
 		machine: machine,
@@ -43,6 +49,10 @@ func NewWithTable(name string, machine *sim.Machine, cfg tm.Config, factory func
 		accel:   factory,
 	}
 }
+
+// Progress returns the resolved progress configuration (including the
+// allocated token), so a hybrid scheme's hardware half can share it.
+func (s *System) Progress() tm.Progress { return s.cfg.Progress }
 
 // Name identifies the scheme.
 func (s *System) Name() string { return s.name }
@@ -63,6 +73,7 @@ func (s *System) Thread(ctx *sim.Ctx) tm.Thread {
 		ctx:      ctx,
 		writeVer: make(map[uint64]uint64, 64),
 		backoff:  tm.NewBackoff(ctx.ID()),
+		ladder:   tm.NewBackoff(ctx.ID()),
 	}
 	// The allocator is shared machine state: reserve the thread's
 	// descriptor and logs inside one architectural step so concurrent

@@ -78,6 +78,17 @@ type Thread struct {
 	attempt            int
 	txnSeq             uint64 // per-thread transaction id, stable across retries
 	inTxn              bool
+
+	// Escalation-ladder state (nil/zero when Config.Progress is disabled).
+	// strikes counts this transaction's failed (aborted) attempts; at the
+	// retry budget the thread acquires the irrevocable token and the next
+	// attempt runs serially with no abort path. ladder is a dedicated
+	// backoff for token waits so they never perturb the contention
+	// backoff's state.
+	ladder      *tm.Backoff
+	strikes     int
+	irrevocable bool
+	irrevStart  uint64 // clock at token acquisition, for cycles-held accounting
 }
 
 var (
@@ -126,9 +137,11 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		return t.nestedAtomic(body)
 	}
 	t.attempt = 0
-	t.txnSeq++
+	t.strikes = 0
 	t.watch = t.watch[:0]
+	t.txnSeq++
 	for {
+		t.enterLadder()
 		t.begin()
 		err, sig := t.runBody(body)
 		switch s := sig.(type) {
@@ -177,11 +190,66 @@ func (t *Thread) finish(committed bool) {
 	if t.accel != nil {
 		t.accel.End(t, committed)
 	}
+	t.exitLadder()
 	if committed {
 		t.backoff.Reset()
 	}
 	t.inTxn = false
 }
+
+// enterLadder runs before every top-level attempt when the escalation
+// ladder is configured. Within the retry budget the attempt announces
+// itself as revocable (and waits out any irrevocable owner); past the
+// budget it escalates: acquire the global token, drain every other core's
+// in-flight attempt, and run serially with no abort path. Token traffic is
+// real simulated memory traffic, charged to the lock category, so the
+// ladder's cost shows up honestly in figures.
+func (t *Thread) enterLadder() {
+	tok := t.sys.cfg.Progress.Token
+	if tok == nil {
+		return
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Lock)
+	if t.strikes >= t.sys.cfg.Progress.RetryBudget {
+		ctx.TraceEvent("escalate", "retry budget exhausted")
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+			Kind: telemetry.EvEscalate, Cause: "retry-budget"})
+		ctx.Telem().Inc(telemetry.Escalations)
+		tok.Acquire(ctx, t.ladder)
+		t.irrevocable = true
+		t.irrevStart = ctx.Clock()
+		ctx.Telem().Inc(telemetry.IrrevocableEntries)
+	} else {
+		tok.EnterShared(ctx, t.ladder)
+	}
+	ctx.SetCat(prev)
+	t.ladder.Reset()
+}
+
+// exitLadder ends the attempt's participation in the ladder handshake:
+// release the token (accounting the cycles it was held) after an
+// irrevocable attempt, withdraw the active flag after a revocable one.
+func (t *Thread) exitLadder() {
+	tok := t.sys.cfg.Progress.Token
+	if tok == nil {
+		return
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Lock)
+	if t.irrevocable {
+		ctx.Telem().Add(telemetry.IrrevocableCyclesHeld, ctx.Clock()-t.irrevStart)
+		tok.Release(ctx)
+		t.irrevocable = false
+	} else {
+		tok.ExitShared(ctx)
+	}
+	ctx.SetCat(prev)
+}
+
+// Irrevocable reports whether the current attempt holds the irrevocable
+// token (for tests and fault hooks).
+func (t *Thread) Irrevocable() bool { return t.irrevocable }
 
 // observeSetSizes raises the log-pressure high-water marks to the current
 // set sizes; called at transaction end points, where the sets have reached
@@ -209,6 +277,7 @@ func (t *Thread) abandonAttempt(kind, cause string) {
 	if t.accel != nil {
 		t.accel.End(t, false)
 	}
+	t.exitLadder()
 	t.inTxn = false
 }
 
@@ -218,6 +287,7 @@ func (t *Thread) afterAbort(cause stats.AbortCause) {
 	t.abandonAttempt(telemetry.EvAbort, cause.String())
 	t.Stats().Aborts[cause]++
 	t.attempt++
+	t.strikes++
 	if cause.IsConflict() {
 		t.backoff.Wait(t.ctx)
 	}
@@ -237,6 +307,11 @@ func (t *Thread) runBody(body func(tm.Txn) error) (err error, sig interface{}) {
 		case abortSignal, retrySignal, userAbortSignal:
 			sig = r
 		default:
+			if sim.IsStop(r) {
+				// Watchdog stop-unwinding: must propagate to the grant
+				// boundary, never be misread as a zombie abort.
+				panic(r)
+			}
 			if !t.readsConsistent() {
 				sig = abortSignal{stats.AbortValidation}
 				return
@@ -287,6 +362,13 @@ func (t *Thread) begin() {
 	if t.accel != nil {
 		t.accel.Begin(t, t.attempt)
 	}
+	if t.irrevocable {
+		ctx.TraceEvent("irrevocable", "serial attempt, no abort path")
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt, Kind: telemetry.EvIrrevocable})
+		ctx.SetStatus("irrevocable", t.attempt)
+	} else {
+		ctx.SetStatus("stm", t.attempt)
+	}
 }
 
 func (t *Thread) commitTxn() (bool, stats.AbortCause) {
@@ -298,11 +380,12 @@ func (t *Thread) commitTxn() (bool, stats.AbortCause) {
 		t.releaseWrites()
 		ctx.Exec(8) // commit bookkeeping
 		t.Stats().Commits++
+		ctx.NoteCommit()
 		ctx.TraceEvent("commit", fmt.Sprintf("reads=%d writes=%d", len(t.reads), len(t.writes)))
 		t.observeSetSizes()
 		ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.attempt))
 		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
-			Kind: telemetry.EvCommit,
+			Kind:  telemetry.EvCommit,
 			Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 	}
 	ctx.SetCat(prev)
@@ -521,6 +604,14 @@ func (t *Thread) StoreInit(addr, val uint64) { t.ctx.Store(addr, val) }
 // previously read location may have changed.
 func (t *Thread) Retry() {
 	t.requireTxn()
+	if t.irrevocable {
+		// An irrevocable attempt holds the global token and has drained
+		// every other core: blocking it on a change nobody can make is a
+		// guaranteed deadlock, and the ladder invariant (irrevocable is
+		// terminal-commit-only) forbids the rollback. Fail loudly; the
+		// simulator contains the panic as a CoreFault.
+		panic("stm: Retry inside an irrevocable transaction")
+	}
 	panic(retrySignal{})
 }
 
@@ -528,6 +619,10 @@ func (t *Thread) Retry() {
 // tm.ErrUserAbort.
 func (t *Thread) Abort() {
 	t.requireTxn()
+	if t.irrevocable {
+		// Same invariant as Retry: irrevocable attempts have no abort path.
+		panic("stm: Abort inside an irrevocable transaction")
+	}
 	panic(userAbortSignal{})
 }
 

@@ -44,17 +44,31 @@ const (
 	// HTMFallbacks counts hybrid transactions that abandoned hardware
 	// execution for the software path.
 	HTMFallbacks
+	// Escalations counts transactions whose retry budget ran out, forcing
+	// entry into serial irrevocable mode (the last rung of the escalation
+	// ladder).
+	Escalations
+	// IrrevocableEntries counts successful acquisitions of the global
+	// irrevocable token (one per escalated attempt that actually ran
+	// irrevocably).
+	IrrevocableEntries
+	// IrrevocableCyclesHeld accumulates the simulated cycles the irrevocable
+	// token was held, from acquisition to release at commit.
+	IrrevocableCyclesHeld
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	ModeSwitchAggressive: "mode_switch_aggressive",
-	ModeSwitchCautious:   "mode_switch_cautious",
-	MarkCounterNonZero:   "mark_counter_nonzero",
-	AggressiveAttempts:   "aggressive_attempts",
-	CautiousAttempts:     "cautious_attempts",
-	LockAcquires:         "lock_acquires",
-	HTMFallbacks:         "htm_fallbacks",
+	ModeSwitchAggressive:  "mode_switch_aggressive",
+	ModeSwitchCautious:    "mode_switch_cautious",
+	MarkCounterNonZero:    "mark_counter_nonzero",
+	AggressiveAttempts:    "aggressive_attempts",
+	CautiousAttempts:      "cautious_attempts",
+	LockAcquires:          "lock_acquires",
+	HTMFallbacks:          "htm_fallbacks",
+	Escalations:           "escalations",
+	IrrevocableEntries:    "irrevocable_entries",
+	IrrevocableCyclesHeld: "irrevocable_cycles_held",
 }
 
 func (c Counter) String() string {

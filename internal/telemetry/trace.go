@@ -20,7 +20,7 @@ type TxnEvent struct {
 	Cycle  uint64 `json:"cycle"`
 	Txn    uint64 `json:"txn"`   // per-core transaction sequence number
 	Retry  int    `json:"retry"` // attempt index, 0 = first execution
-	Kind   string `json:"ev"`    // "begin", "commit", "abort", "retry", "fallback", "mode", "error"
+	Kind   string `json:"ev"`    // "begin", "commit", "abort", "retry", "fallback", "mode", "error", "escalate", "irrevocable"
 	Cause  string `json:"cause,omitempty"`
 	Reads  int    `json:"reads,omitempty"`
 	Writes int    `json:"writes,omitempty"`
@@ -40,6 +40,14 @@ const (
 	// so it is deliberately NOT an abort (abort counters and traced abort
 	// events must stay in one-to-one correspondence).
 	EvError = "error"
+	// EvEscalate marks a transaction whose retry budget ran out: the thread
+	// is about to acquire the global irrevocable token. Emitted before the
+	// escalated attempt's begin event.
+	EvEscalate = "escalate"
+	// EvIrrevocable marks an attempt that began holding the irrevocable
+	// token: it has no abort path and must terminate with commit (or a body
+	// error). Emitted after the attempt's begin event.
+	EvIrrevocable = "irrevocable"
 )
 
 // TraceBuffer collects transaction events from every core of one machine.

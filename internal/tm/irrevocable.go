@@ -1,0 +1,101 @@
+package tm
+
+import (
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/sim"
+)
+
+// IrrevocableToken is the serial-irrevocable-mode handshake shared by every
+// thread of a TM system (and, for HyTM, by both its hardware and software
+// halves). It lives in simulated memory and is driven entirely through Ctx
+// operations, so every acquisition, wait and release is charged real
+// simulated cycles and ordered by the deterministic grant schedule.
+//
+// The protocol is a Dekker-style owner/announcers handshake over the
+// sequentially consistent simulated memory:
+//
+//   - Every ordinary (revocable) attempt brackets itself with EnterShared /
+//     ExitShared: set the core's active flag, then check the token; if the
+//     token is held, withdraw the flag and back off until it is free.
+//   - An escalating thread Acquires the token (CAS from 0), then drains
+//     every other core's active flag before running. A core that published
+//     its flag before the token was taken finishes its attempt and clears
+//     the flag in bounded simulated time (contention-management spins and
+//     retry-waits are all bounded); a core that checks after sees the token
+//     and withdraws. Either way the drain terminates and the owner runs
+//     serially: no other attempt is in flight, so nothing can invalidate
+//     its reads or contend its writes — the attempt has no abort path.
+//
+// The token word and the per-core active flags each occupy their own cache
+// line so the handshake's coherence traffic models real sharing without
+// false sharing.
+type IrrevocableToken struct {
+	token  uint64 // address of the owner word: 0 = free, core+1 = held
+	active uint64 // base of cores line-sized active-flag slots
+	cores  int
+}
+
+// NewIrrevocableToken allocates the token in the machine's simulated
+// memory. Call before Run (allocation is host-side, zero simulated cost,
+// like data-structure population).
+func NewIrrevocableToken(m *mem.Memory, cores int) *IrrevocableToken {
+	return &IrrevocableToken{
+		token:  m.AllocLines(1),
+		active: m.AllocLines(uint64(cores)),
+		cores:  cores,
+	}
+}
+
+func (t *IrrevocableToken) activeAddr(core int) uint64 {
+	return t.active + uint64(core)*mem.LineSize
+}
+
+// EnterShared announces a revocable attempt: publish this core's active
+// flag, then verify no irrevocable owner holds the token. If the token is
+// held, withdraw the flag and wait with deterministic backoff — revocable
+// attempts never run concurrently with an irrevocable one.
+func (t *IrrevocableToken) EnterShared(ctx *sim.Ctx, b *Backoff) {
+	me := t.activeAddr(ctx.ID())
+	for {
+		ctx.Store(me, 1)
+		if ctx.Load(t.token) == 0 {
+			return
+		}
+		ctx.Store(me, 0)
+		b.Wait(ctx)
+	}
+}
+
+// ExitShared withdraws this core's active flag at the end of a revocable
+// attempt (commit, abort, retry or body error alike).
+func (t *IrrevocableToken) ExitShared(ctx *sim.Ctx) {
+	ctx.Store(t.activeAddr(ctx.ID()), 0)
+}
+
+// Acquire takes the token for this core, waiting out any current owner,
+// then drains every other core's active flag so no revocable attempt is
+// still in flight when the caller begins its irrevocable attempt.
+func (t *IrrevocableToken) Acquire(ctx *sim.Ctx, b *Backoff) {
+	for {
+		if ok, _ := ctx.CAS(t.token, 0, uint64(ctx.ID())+1); ok {
+			break
+		}
+		b.Wait(ctx)
+	}
+	for core := 0; core < t.cores; core++ {
+		if core == ctx.ID() {
+			continue
+		}
+		flag := t.activeAddr(core)
+		for ctx.Load(flag) != 0 {
+			ctx.Exec(2)
+			b.Wait(ctx)
+		}
+	}
+}
+
+// Release frees the token after the irrevocable attempt committed (or
+// terminated with a body error).
+func (t *IrrevocableToken) Release(ctx *sim.Ctx) {
+	ctx.Store(t.token, 0)
+}

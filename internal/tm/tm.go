@@ -136,6 +136,22 @@ type Config struct {
 	// ValidateEvery triggers a periodic read-set validation after this
 	// many read barriers; 0 validates only at commit.
 	ValidateEvery int
+	// Progress configures the escalation ladder (serial irrevocable mode).
+	Progress Progress
+}
+
+// Progress configures the budget-triggered escalation to serial
+// irrevocable mode: after RetryBudget failed attempts of one transaction,
+// the thread acquires a global token in simulated memory, drains every
+// other core's active attempt, and runs with no abort path.
+type Progress struct {
+	// RetryBudget is the number of failed attempts of one transaction
+	// before escalating to irrevocable mode. 0 disables the ladder.
+	RetryBudget int
+	// Token is the shared irrevocable token. Leave nil to have the system
+	// allocate one; systems that share a record table (HyTM's hardware and
+	// software halves) must also share a token.
+	Token *IrrevocableToken
 }
 
 // Backoff implements deterministic exponential backoff, charging the wait
@@ -145,9 +161,22 @@ type Backoff struct {
 	rng     uint64
 }
 
-// NewBackoff seeds the backoff's jitter deterministically per core.
+// NewBackoff seeds the backoff's jitter deterministically per core. The
+// raw per-core seed (core*2654435761 + 1) is mixed through the splitmix64
+// finalizer so every core — core 0 included, whose raw seed is just 1 —
+// gets a full-strength xorshift stream rather than one that starts in a
+// low-entropy region of the state space.
 func NewBackoff(core int) *Backoff {
-	return &Backoff{rng: uint64(core)*2654435761 + 1}
+	z := uint64(core)*2654435761 + 1
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // xorshift must never be seeded with 0
+	}
+	return &Backoff{rng: z}
 }
 
 func (b *Backoff) next() uint64 {

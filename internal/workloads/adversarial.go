@@ -1,0 +1,175 @@
+package workloads
+
+// Adversarial cells for the progress-guarantee suite: workloads built to
+// defeat optimistic concurrency control. They are not from the paper —
+// they exist to demonstrate the failure modes (livelock, starvation) that
+// the escalation ladder bounds and the watchdogs diagnose. Both cells are
+// driven per-core by the harness rather than through DataStructure,
+// because their point is exactly that cores do NOT run symmetric
+// independent operations.
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/tm"
+)
+
+// WriterStorm is the livelock cell: every transaction read-modify-writes
+// the same small set of cache lines, but each core visits them in a
+// rotated order with compute padding holding the conflict window open.
+// Under optimistic schemes the cores keep invalidating each other's
+// attempts; throughput collapses and, with an aggressive enough padding,
+// the run burns its cycle budget before finishing. With the escalation
+// ladder armed, each core's retry budget trips quickly and the storm
+// serialises through the irrevocable token instead.
+type WriterStorm struct {
+	// Lines is the number of contended cache lines (the shared footprint).
+	Lines int
+	// Ops is the number of transactions each core must commit.
+	Ops int
+	// Pad is the compute charged between consecutive line accesses inside
+	// a transaction; it widens the window in which a rival's commit can
+	// invalidate this attempt.
+	Pad uint64
+
+	base uint64
+}
+
+// NewWriterStorm lays out the contended lines in simulated memory.
+func NewWriterStorm(m *mem.Memory, lines, ops int, pad uint64) *WriterStorm {
+	return &WriterStorm{
+		Lines: lines,
+		Ops:   ops,
+		Pad:   pad,
+		base:  m.Alloc(uint64(lines)*mem.LineSize, mem.LineSize),
+	}
+}
+
+func (w *WriterStorm) addr(i int) uint64 { return w.base + uint64(i)*mem.LineSize }
+
+// RunThread commits w.Ops storm transactions on the calling core. Each
+// transaction increments the first word of every contended line, visiting
+// the lines in core-rotated order so no two cores agree on an
+// acquisition order.
+func (w *WriterStorm) RunThread(th tm.Thread, core int) error {
+	for op := 0; op < w.Ops; op++ {
+		if err := th.Atomic(func(tx tm.Txn) error {
+			for j := 0; j < w.Lines; j++ {
+				a := w.addr((core + j) % w.Lines)
+				v := tx.Load(a)
+				tx.Exec(w.Pad)
+				tx.Store(a, v+1)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks the storm's invariant: every transaction incremented every
+// line exactly once, so each word must equal cores*Ops.
+func (w *WriterStorm) Verify(m *mem.Memory, cores int) error {
+	want := uint64(cores * w.Ops)
+	for i := 0; i < w.Lines; i++ {
+		if got := m.Load(w.addr(i)); got != want {
+			return fmt.Errorf("writer-storm: line %d = %d, want %d", i, got, want)
+		}
+	}
+	return nil
+}
+
+// Starvation is the reader-starvation cell: core 0 runs ONE large
+// transaction that reads a line per writer core (with padding), while
+// every other core read-modify-writes its own line in a tight
+// transactional loop until a done flag is set — a flag only the reader's
+// commit ever sets. Without the escalation ladder the configuration is
+// categorically non-terminating: the writers keep committing (so the
+// commit watchdog stays quiet), every writer commit invalidates the
+// reader, and the reader is the only path to the writers' exit condition.
+// The cycle budget is what catches it. With the ladder, the reader's
+// aborts exhaust its retry budget, it acquires the irrevocable token,
+// the writers' next begins block on the token, and the reader commits.
+type Starvation struct {
+	// Pad is the compute charged between the reader's line loads (and
+	// inside each writer RMW), widening the reader's vulnerable window.
+	Pad uint64
+
+	writers   int
+	base      uint64
+	out, done uint64
+}
+
+// NewStarvation lays out one contended line per writer core plus the
+// reader's output word and the shared done flag.
+func NewStarvation(m *mem.Memory, writers int, pad uint64) *Starvation {
+	return &Starvation{
+		Pad:     pad,
+		writers: writers,
+		base:    m.Alloc(uint64(writers)*mem.LineSize, mem.LineSize),
+		out:     m.Alloc(mem.LineSize, mem.LineSize),
+		done:    m.Alloc(mem.LineSize, mem.LineSize),
+	}
+}
+
+func (s *Starvation) addr(i int) uint64 { return s.base + uint64(i)*mem.LineSize }
+
+// RunReader executes core 0's single big read transaction: sum every
+// writer line, publish the sum, raise the done flag.
+func (s *Starvation) RunReader(th tm.Thread) error {
+	return th.Atomic(func(tx tm.Txn) error {
+		var sum uint64
+		for i := 0; i < s.writers; i++ {
+			sum += tx.Load(s.addr(i))
+			tx.Exec(s.Pad)
+		}
+		tx.Store(s.out, sum)
+		tx.Store(s.done, 1)
+		return nil
+	})
+}
+
+// RunWriter executes a writer core's loop: bump the core's own line until
+// the done flag appears. core is the simulator core id (>= 1).
+func (s *Starvation) RunWriter(th tm.Thread, core int) error {
+	a := s.addr(core - 1)
+	for {
+		stop := false
+		if err := th.Atomic(func(tx tm.Txn) error {
+			if tx.Load(s.done) != 0 {
+				stop = true
+				return nil
+			}
+			v := tx.Load(a)
+			tx.Exec(s.Pad)
+			tx.Store(a, v+1)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// Verify checks starvation's invariant: the reader committed (done == 1)
+// and, because the reader's transaction serialises against every writer
+// transaction, any writer transaction after it saw the flag and wrote
+// nothing — so the published sum equals the sum of the lines' final
+// values.
+func (s *Starvation) Verify(m *mem.Memory) error {
+	if got := m.Load(s.done); got != 1 {
+		return fmt.Errorf("starvation: done flag = %d, want 1 (reader never committed)", got)
+	}
+	var sum uint64
+	for i := 0; i < s.writers; i++ {
+		sum += m.Load(s.addr(i))
+	}
+	if got := m.Load(s.out); got != sum {
+		return fmt.Errorf("starvation: published sum %d != final line sum %d", got, sum)
+	}
+	return nil
+}
