@@ -5,6 +5,7 @@ package hastm_test
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"hastm.dev/hastm"
@@ -93,6 +94,50 @@ func TestPublicEverySchemeRuns(t *testing.T) {
 				t.Fatalf("invariant violated under %s: sum = %d", name, sum)
 			}
 		})
+	}
+}
+
+// TestPublicNativeBackend exercises the host-native TL2 backend through
+// the facade: real goroutines moving value between two words, the same
+// atomic-block programming model, no simulator anywhere.
+func TestPublicNativeBackend(t *testing.T) {
+	const goroutines = 4
+	m := hastm.NewMemory()
+	a := m.Alloc(64, 64)
+	b := m.Alloc(64, 64)
+	m.Store(a, 500)
+	sys := hastm.NewNative(m, hastm.NativeConfig{Threads: goroutines})
+	if sys.Name() == "" {
+		t.Error("native backend has no name")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := sys.Thread(id)
+			for i := 0; i < 50; i++ {
+				if err := th.Atomic(func(tx hastm.Txn) error {
+					va := tx.Load(a)
+					if va == 0 {
+						return nil
+					}
+					tx.Store(a, va-1)
+					tx.Store(b, tx.Load(b)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sum := m.Load(a) + m.Load(b); sum != 500 {
+		t.Fatalf("invariant violated on native backend: sum = %d", sum)
+	}
+	if got := m.Load(b); got != 200 {
+		t.Fatalf("b = %d, want 200 (4 goroutines x 50 decrements)", got)
 	}
 }
 

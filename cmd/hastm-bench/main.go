@@ -37,6 +37,14 @@
 //	                          # window (0 disables either); a trip fails the
 //	                          # cell with a structured diagnosis instead of
 //	                          # hanging the harness
+//	hastm-bench -backend native
+//	                          # run the host-native TL2 backend instead of
+//	                          # the simulator: every workload swept over
+//	                          # 1..32 host goroutines on real memory,
+//	                          # reporting committed txns/sec (host numbers,
+//	                          # NOT deterministic, never comparable to the
+//	                          # simulated figures); cells run serially so
+//	                          # they don't steal each other's cores
 //
 // Reports go to stdout, diagnostics (progress, timing, the per-figure
 // simulation-throughput summary) to stderr. Every simulation cell runs on
@@ -167,6 +175,53 @@ func runFaultstorm(spec faults.Spec, o harness.Options, workers int, progress bo
 	return 0
 }
 
+// runNative runs the host-native TL2 throughput suite: every standard
+// workload swept over harness.NativeThreadCounts host goroutines on real
+// memory. Cells execute serially regardless of -j — each cell already uses
+// up to 32 goroutines, and concurrent cells would steal each other's cores
+// and corrupt the throughput numbers. Output is host-dependent; nothing
+// here participates in the byte-identity guarantees of the simulator path.
+func runNative(o harness.Options, progress, jsonF, csvF bool) int {
+	plan := harness.NativePlan(o, harness.NativeThreadCounts)
+	cfg := harness.ExecConfig{Workers: 1}
+	if progress {
+		cfg.ProgressSync = telemetry.NewSyncWriter(os.Stderr)
+	}
+	start := time.Now()
+	reports := harness.Execute([]*harness.Plan{plan}, cfg)
+	elapsed := time.Since(start)
+
+	switch {
+	case jsonF:
+		doc := harness.NewBenchJSON(o, 1, []*harness.Plan{plan}, reports, elapsed)
+		if err := doc.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: json: %v\n", err)
+			return 1
+		}
+	case csvF:
+		for _, rep := range reports {
+			if err := rep.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: csv: %v\n", err)
+				return 1
+			}
+		}
+	default:
+		for _, rep := range reports {
+			rep.Render(os.Stdout)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hastm-bench: native backend, %d cells in %v (cells serial, up to %d goroutines each)\n",
+		len(plan.Cells), elapsed.Round(time.Millisecond),
+		harness.NativeThreadCounts[len(harness.NativeThreadCounts)-1])
+	if failed := harness.FailedCells([]*harness.Plan{plan}); len(failed) > 0 {
+		for _, c := range failed {
+			fmt.Fprintf(os.Stderr, "hastm-bench: cell %s/%s FAILED:\n%s\n", c.Figure, c.Label, c.Err)
+		}
+		return 1
+	}
+	return 0
+}
+
 // throughputSummary prints one stderr line per figure: total simulated
 // cycles, total host time spent in that figure's cells, and the resulting
 // simulated-cycles-per-host-second rate. Host timings are not
@@ -214,6 +269,7 @@ func realMain() int {
 		cycleBud = flag.Uint64("cycle-budget", 2_000_000_000, "hard per-run simulated-cycle budget for figure cells (0 = unlimited)")
 		watchWin = flag.Uint64("watchdog-window", 50_000_000, "commit-progress watchdog window in cycles for figure cells (0 = off)")
 		schedF   = flag.String("sched", "lease", "simulator scheduler: lease (grant-lease fast path) or reference (per-op handoff)")
+		backendF = flag.String("backend", "sim", "execution backend: sim (cycle-ordered simulator) or native (host-goroutine TL2 on real memory)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -283,6 +339,15 @@ func realMain() int {
 		o.ReferenceScheduler = true
 	default:
 		fmt.Fprintf(os.Stderr, "hastm-bench: -sched must be lease or reference, got %q\n", *schedF)
+		return 2
+	}
+
+	switch *backendF {
+	case "sim":
+	case "native":
+		return runNative(o, *progress, *jsonF, *csvF)
+	default:
+		fmt.Fprintf(os.Stderr, "hastm-bench: -backend must be sim or native, got %q\n", *backendF)
 		return 2
 	}
 

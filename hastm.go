@@ -46,6 +46,8 @@ import (
 	"hastm.dev/hastm/internal/core"
 	"hastm.dev/hastm/internal/htm"
 	"hastm.dev/hastm/internal/locksync"
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/native"
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stm"
 	"hastm.dev/hastm/internal/tm"
@@ -159,6 +161,35 @@ func NewLock(machine *Machine) System { return locksync.NewLock(machine) }
 // NewSequential creates the unsynchronised sequential baseline (single
 // core only).
 func NewSequential(machine *Machine) System { return locksync.NewSeq(machine) }
+
+// Memory is the flat word-addressed memory shared by the simulator and
+// the native backend (Machine.Mem is one of these).
+type Memory = mem.Memory
+
+// Native is the host-native TL2 backend: the same tm.Txn programming model
+// — Load/Store, closed nesting with partial rollback, retry/orElse,
+// explicit abort, the irrevocable escalation ladder — executed by real
+// goroutines on real memory with a TL2 global version clock and
+// per-stripe versioned write-locks, instead of simulated cores. Nothing
+// about it is deterministic or cycle-accounted; it exists to cross-check
+// the simulator's STM semantics (the differential conformance suite) and
+// to measure real host throughput.
+type Native = native.System
+
+// NativeConfig configures the native backend (threads, stripe count,
+// arena size, and the shared TM options — contention policy and the
+// escalation ladder's retry budget).
+type NativeConfig = native.Config
+
+// NewMemory builds a standalone memory for the native backend. Build and
+// populate data structures through it (zero concurrency) BEFORE calling
+// NewNative: the system preallocates its transactional-allocation arena at
+// creation so the page table never grows during a run.
+func NewMemory() *Memory { return mem.New() }
+
+// NewNative creates the native TL2 backend on m. Thread(id) — one id per
+// goroutine, 0 <= id < cfg.Threads — hands out the transaction handles.
+func NewNative(m *Memory, cfg NativeConfig) *Native { return native.New(m, cfg) }
 
 // AllocObject allocates a transactional object (header record + payload)
 // for object-granularity conflict detection and returns its base address.

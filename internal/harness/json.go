@@ -25,7 +25,13 @@ import (
 // (escalations, irrevocable_entries, irrevocable_cycles_held) and cells
 // gain an error field carrying the contained failure report (core panic,
 // progress-watchdog trip) when a run fails instead of the process dying.
-const BenchSchema = "hastm-bench/4"
+// hastm-bench/5: the document gains a backend field ("sim" or
+// "native-tl2", the -backend flag) and every cell gains host_ns (the
+// cell's host wall time in nanoseconds). Native-backend cells additionally
+// carry backend and txns_per_sec (committed transactions per host second
+// over the measured phase); their wall_cycles is 0 — host time is their
+// only clock.
+const BenchSchema = "hastm-bench/5"
 
 // SchedRecord is the host-side scheduler-efficiency block of a cell: how
 // many architectural ops the simulator granted and how many scheduler
@@ -45,6 +51,16 @@ type CellRecord struct {
 	Label      string  `json:"label"`
 	WallCycles uint64  `json:"wall_cycles"`
 	HostMS     float64 `json:"host_ms"`
+	// HostNS is the cell's host wall time in nanoseconds (the precise form
+	// of HostMS, for tooling that must not lose sub-ms cells).
+	HostNS int64 `json:"host_ns"`
+	// Backend marks cells produced by a non-simulator backend
+	// ("native-tl2"); absent on simulator cells.
+	Backend string `json:"backend,omitempty"`
+	// TxnsPerSec is the native-backend commit rate over the measured
+	// phase; absent on simulator cells (host-throughput there is
+	// CyclesPerHostSec).
+	TxnsPerSec float64 `json:"txns_per_sec,omitempty"`
 	// CyclesPerHostSec is the cell's simulation throughput: simulated
 	// cycles advanced per host second. Host-dependent, like HostMS.
 	CyclesPerHostSec float64           `json:"cycles_per_host_sec"`
@@ -60,11 +76,14 @@ type CellRecord struct {
 // figure's assembled tables, and per-cell host timings for perf-trajectory
 // tracking (BENCH_*.json files).
 type BenchJSON struct {
-	Schema      string       `json:"schema"`
-	GeneratedAt time.Time    `json:"generated_at"`
-	GitRev      string       `json:"git_rev,omitempty"`
-	GoVersion   string       `json:"go_version"`
-	NumCPU      int          `json:"num_cpu"`
+	Schema      string    `json:"schema"`
+	GeneratedAt time.Time `json:"generated_at"`
+	GitRev      string    `json:"git_rev,omitempty"`
+	GoVersion   string    `json:"go_version"`
+	NumCPU      int       `json:"num_cpu"`
+	// Backend is the run's backend: "sim" (cycle-ordered simulator) or
+	// "native-tl2" (host goroutines on real memory).
+	Backend     string       `json:"backend"`
 	Workers     int          `json:"workers"`
 	Seed        uint64       `json:"seed"`
 	Options     Options      `json:"options"`
@@ -82,6 +101,7 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 		GitRev:      gitRevision(),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		Backend:     "sim",
 		Workers:     workers,
 		Seed:        o.Seed,
 		Options:     o,
@@ -95,9 +115,14 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 				Label:      c.Label,
 				WallCycles: c.Metrics().WallCycles,
 				HostMS:     float64(c.HostNS) / 1e6,
+				HostNS:     c.HostNS,
 				Error:      c.Err,
 			}
-			if c.HostNS > 0 {
+			if met := c.Metrics(); met.Backend != "" {
+				b.Backend = met.Backend
+				rec.Backend = met.Backend
+				rec.TxnsPerSec = met.TxnsPerSec()
+			} else if c.HostNS > 0 {
 				rec.CyclesPerHostSec = float64(c.Metrics().WallCycles) / (float64(c.HostNS) / 1e9)
 			}
 			if s := c.Metrics().Stats; s != nil {

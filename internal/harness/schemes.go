@@ -223,6 +223,13 @@ type RunMetrics struct {
 	// differs between the lease and reference schedulers while every
 	// simulated result stays identical.
 	Sched sim.SchedCounters
+	// HostNS is the measured-phase host wall time of a native-backend run,
+	// in nanoseconds. 0 on simulator runs (whose Cell.HostNS covers the
+	// whole cell, populate and warmup included).
+	HostNS int64
+	// Backend names the backend that produced the run ("native-tl2"); ""
+	// means the cycle-ordered simulator.
+	Backend string
 }
 
 // validateConfig rejects unknown schemes/workloads and bad core counts,

@@ -212,6 +212,13 @@ var (
 // Ctx returns the core context.
 func (t *Thread) Ctx() *sim.Ctx { return t.ctx }
 
+// ID returns the simulated core id.
+func (t *Thread) ID() int { return t.ctx.ID() }
+
+// Stamp returns the core clock, the serialization stamp of the most
+// recently committed atomic block on simulator backends.
+func (t *Thread) Stamp() uint64 { return t.ctx.Clock() }
+
 func (t *Thread) stats() *stats.Core {
 	return &t.ctx.Machine().Stats.Cores[t.ctx.ID()]
 }

@@ -56,6 +56,13 @@ var (
 
 func (t *lockThread) Ctx() *sim.Ctx { return t.ctx }
 
+// ID returns the simulated core id.
+func (t *lockThread) ID() int { return t.ctx.ID() }
+
+// Stamp returns the core clock, the serialization stamp of the most
+// recently committed atomic block on simulator backends.
+func (t *lockThread) Stamp() uint64 { return t.ctx.Clock() }
+
 // Atomic acquires the global lock, runs body once, and releases. Nested
 // calls are flattened (the lock is already held).
 func (t *lockThread) Atomic(body func(tm.Txn) error) error {
@@ -176,6 +183,13 @@ var (
 )
 
 func (t *seqThread) Ctx() *sim.Ctx { return t.ctx }
+
+// ID returns the simulated core id.
+func (t *seqThread) ID() int { return t.ctx.ID() }
+
+// Stamp returns the core clock, the serialization stamp of the most
+// recently committed atomic block on simulator backends.
+func (t *seqThread) Stamp() uint64 { return t.ctx.Clock() }
 
 func (t *seqThread) Atomic(body func(tm.Txn) error) error {
 	t.in = true

@@ -7,7 +7,10 @@
 // keeping a single authoritative copy of the data is exact.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // WordSize is the size in bytes of the addressable unit.
 const WordSize = 8
@@ -104,6 +107,30 @@ func (m *Memory) Load(addr uint64) uint64 {
 func (m *Memory) Store(addr, val uint64) {
 	m.check(addr)
 	m.pages[addr>>pageShift][(addr&pageMask)/WordSize] = val
+}
+
+// LoadAtomic returns the word at addr with an atomic load. The host-native
+// backend uses these accessors for every transactional word so concurrent
+// goroutines are race-clean; the page table itself must not grow while
+// atomic accessors are in use (see Preallocate).
+func (m *Memory) LoadAtomic(addr uint64) uint64 {
+	m.check(addr)
+	return atomic.LoadUint64(&m.pages[addr>>pageShift][(addr&pageMask)/WordSize])
+}
+
+// StoreAtomic writes the word at addr with an atomic store.
+func (m *Memory) StoreAtomic(addr, val uint64) {
+	m.check(addr)
+	atomic.StoreUint64(&m.pages[addr>>pageShift][(addr&pageMask)/WordSize], val)
+}
+
+// Preallocate reserves size bytes and materialises every backing page, then
+// returns the base of the reserved range. The host-native backend carves a
+// fixed arena out of the address space up front: once the arena exists the
+// page table never grows during a run, so concurrent LoadAtomic/StoreAtomic
+// never race with the append in grow().
+func (m *Memory) Preallocate(size uint64) uint64 {
+	return m.Alloc(size, LineSize)
 }
 
 // Allocated reports whether addr falls inside some allocation.

@@ -1,0 +1,120 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/tm"
+)
+
+// Host-throughput benchmarks for the native TL2 backend, swept over
+// goroutine counts. Unlike the simulator benchmarks (which measure charged
+// cycles deterministically), these measure real wall-clock transaction
+// throughput; ns/op is per committed transaction and the txn/s metric is
+// the aggregate commit rate. The 1-goroutine numbers feed the benchgate
+// regression baseline; the sweep exists to eyeball scaling on wider hosts
+// (counts above the machine's core count just oversubscribe).
+
+var benchThreadCounts = []int{1, 2, 4, 8, 16, 32}
+
+// runBenchThreads splits b.N transactions across `threads` goroutines,
+// each driving its own Thread handle, and reports aggregate throughput.
+func runBenchThreads(b *testing.B, sys *System, threads int, body func(th tm.Thread, id int) error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		n := b.N / threads
+		if g < b.N%threads {
+			n++
+		}
+		wg.Add(1)
+		go func(id, ops int) {
+			defer wg.Done()
+			th := sys.Thread(id)
+			for i := 0; i < ops; i++ {
+				if err := body(th, id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+}
+
+// BenchmarkNativeMixed is the workloads' common shape — 24 reads, 2
+// writes — with each goroutine in its own cache-line-disjoint segment, so
+// it measures barrier and commit cost scaling without conflict aborts.
+func BenchmarkNativeMixed(b *testing.B) {
+	const segWords = 32
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			m := mem.New()
+			segs := make([]uint64, threads)
+			for i := range segs {
+				segs[i] = m.Alloc(segWords*mem.WordSize, mem.LineSize)
+			}
+			sys := New(m, Config{Threads: threads})
+			runBenchThreads(b, sys, threads, func(th tm.Thread, id int) error {
+				base := segs[id]
+				return th.Atomic(func(tx tm.Txn) error {
+					for i := uint64(0); i < 24; i++ {
+						tx.Load(base + (i%segWords)*mem.WordSize)
+					}
+					tx.Store(base+24*mem.WordSize, 1)
+					tx.Store(base+25*mem.WordSize, 2)
+					return nil
+				})
+			})
+		})
+	}
+}
+
+// BenchmarkNativeReadOnly measures the read-only commit fast path (stamp
+// at rv, zero validation) over a shared region every goroutine scans.
+func BenchmarkNativeReadOnly(b *testing.B) {
+	const words = 64
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			m := mem.New()
+			base := m.Alloc(words*mem.WordSize, mem.LineSize)
+			for i := uint64(0); i < words; i++ {
+				m.Store(base+i*mem.WordSize, i)
+			}
+			sys := New(m, Config{Threads: threads})
+			runBenchThreads(b, sys, threads, func(th tm.Thread, id int) error {
+				return th.Atomic(func(tx tm.Txn) error {
+					for i := uint64(0); i < words; i++ {
+						tx.Load(base + i*mem.WordSize)
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+// BenchmarkNativeHotCounter is the worst case: every goroutine
+// read-modify-writes one shared word, so commit-time lock conflicts and
+// validation aborts dominate as the count grows.
+func BenchmarkNativeHotCounter(b *testing.B) {
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			m := mem.New()
+			ctr := m.Alloc(mem.WordSize, mem.LineSize)
+			sys := New(m, Config{Threads: threads})
+			runBenchThreads(b, sys, threads, func(th tm.Thread, id int) error {
+				return th.Atomic(func(tx tm.Txn) error {
+					tx.Store(ctr, tx.Load(ctr)+1)
+					return nil
+				})
+			})
+		})
+	}
+}

@@ -74,6 +74,7 @@ func (s *System) Thread(ctx *sim.Ctx) tm.Thread {
 		writeVer: make(map[uint64]uint64, 64),
 		backoff:  tm.NewBackoff(ctx.ID()),
 		ladder:   tm.NewBackoff(ctx.ID()),
+		fsm:      tm.AttemptFSM{RetryBudget: s.cfg.Progress.RetryBudget},
 	}
 	// The allocator is shared machine state: reserve the thread's
 	// descriptor and logs inside one architectural step so concurrent

@@ -39,15 +39,11 @@ type UndoEntry struct {
 	Old  uint64
 }
 
-type savepoint struct {
-	nReads, nWrites, nUndo int
-}
-
-// Control-flow signals thrown through the user body with panic and caught
-// by the engine.
-type abortSignal struct{ cause stats.AbortCause }
-type retrySignal struct{}
-type userAbortSignal struct{}
+// The control-flow signals thrown through the user body with panic, the
+// nested-transaction savepoints, and the attempt/strike/escalation
+// bookkeeping are the backend-neutral state machine shared with the
+// host-native backend: tm.AbortSignal / tm.RetrySignal / tm.UserAbortSignal,
+// tm.Savepoint and tm.AttemptFSM.
 
 // Thread is one core's software-transactional thread. It implements both
 // tm.Thread and tm.Txn.
@@ -71,22 +67,21 @@ type Thread struct {
 	writeVer map[uint64]uint64 // rec -> version at acquire, for validation
 	watch    []RecEntry        // retry wait-set accumulated across rollbacks
 
-	saves []savepoint
+	saves []tm.Savepoint
 
 	backoff            *tm.Backoff
 	readsSinceValidate int
-	attempt            int
 	txnSeq             uint64 // per-thread transaction id, stable across retries
 	inTxn              bool
 
-	// Escalation-ladder state (nil/zero when Config.Progress is disabled).
-	// strikes counts this transaction's failed (aborted) attempts; at the
-	// retry budget the thread acquires the irrevocable token and the next
+	// fsm is the shared attempt/strike/escalation state machine: aborted
+	// attempts strike towards the retry budget, retry-waits do not, and at
+	// the budget the thread acquires the irrevocable token so the next
 	// attempt runs serially with no abort path. ladder is a dedicated
 	// backoff for token waits so they never perturb the contention
 	// backoff's state.
+	fsm         tm.AttemptFSM
 	ladder      *tm.Backoff
-	strikes     int
 	irrevocable bool
 	irrevStart  uint64 // clock at token acquisition, for cycles-held accounting
 }
@@ -99,6 +94,13 @@ var (
 // Ctx returns the core context this thread runs on.
 func (t *Thread) Ctx() *sim.Ctx { return t.ctx }
 
+// ID returns the core id (the backend-neutral thread index).
+func (t *Thread) ID() int { return t.ctx.ID() }
+
+// Stamp returns the simulated clock, the serialization stamp of the most
+// recently completed atomic block on the cycle-ordered simulator.
+func (t *Thread) Stamp() uint64 { return t.ctx.Clock() }
+
 // Stats returns the per-core statistics record.
 func (t *Thread) Stats() *stats.Core {
 	return &t.ctx.Machine().Stats.Cores[t.ctx.ID()]
@@ -108,7 +110,7 @@ func (t *Thread) Stats() *stats.Core {
 func (t *Thread) Config() tm.Config { return t.sys.cfg }
 
 // Attempt returns the current attempt number (0 = first execution).
-func (t *Thread) Attempt() int { return t.attempt }
+func (t *Thread) Attempt() int { return t.fsm.Attempt() }
 
 // TxnSeq returns the per-thread id of the current (or most recent)
 // top-level transaction; it stays stable across that transaction's retries.
@@ -136,8 +138,7 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 	if t.inTxn {
 		return t.nestedAtomic(body)
 	}
-	t.attempt = 0
-	t.strikes = 0
+	t.fsm.BeginTxn()
 	t.watch = t.watch[:0]
 	t.txnSeq++
 	for {
@@ -162,11 +163,11 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 				return nil
 			}
 			t.afterAbort(cause)
-		case userAbortSignal:
+		case tm.UserAbortSignal:
 			t.abandonAttempt(telemetry.EvAbort, stats.AbortExplicit.String())
 			t.Stats().Aborts[stats.AbortExplicit]++
 			return tm.ErrUserAbort
-		case retrySignal:
+		case tm.RetrySignal:
 			t.ctx.TraceEvent("retry", fmt.Sprintf("watching %d records", len(t.watch)+len(t.reads)))
 			// The wait set must capture the read set before the rollback
 			// truncates it.
@@ -174,9 +175,9 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 			t.abandonAttempt(telemetry.EvRetry, "")
 			t.Stats().Retries++
 			t.waitForChange()
-			t.attempt++
-		case abortSignal:
-			t.afterAbort(s.cause)
+			t.fsm.OnRetryWait()
+		case tm.AbortSignal:
+			t.afterAbort(s.Cause)
 		}
 	}
 }
@@ -211,9 +212,9 @@ func (t *Thread) enterLadder() {
 	}
 	ctx := t.ctx
 	prev := ctx.SetCat(stats.Lock)
-	if t.strikes >= t.sys.cfg.Progress.RetryBudget {
+	if t.fsm.ShouldEscalate() {
 		ctx.TraceEvent("escalate", "retry budget exhausted")
-		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
 			Kind: telemetry.EvEscalate, Cause: "retry-budget"})
 		ctx.Telem().Inc(telemetry.Escalations)
 		tok.Acquire(ctx, t.ladder)
@@ -270,7 +271,7 @@ func (t *Thread) observeSetSizes() {
 // gauges cannot silently skip retry or error attempts.
 func (t *Thread) abandonAttempt(kind, cause string) {
 	t.observeSetSizes()
-	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
 		Kind: kind, Cause: cause,
 		Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 	t.rollbackAll()
@@ -286,8 +287,7 @@ func (t *Thread) afterAbort(cause stats.AbortCause) {
 	t.ctx.TraceEvent("abort", cause.String())
 	t.abandonAttempt(telemetry.EvAbort, cause.String())
 	t.Stats().Aborts[cause]++
-	t.attempt++
-	t.strikes++
+	t.fsm.OnAbort()
 	if cause.IsConflict() {
 		t.backoff.Wait(t.ctx)
 	}
@@ -303,21 +303,20 @@ func (t *Thread) runBody(body func(tm.Txn) error) (err error, sig interface{}) {
 		if r == nil {
 			return
 		}
-		switch r.(type) {
-		case abortSignal, retrySignal, userAbortSignal:
+		if tm.IsEngineSignal(r) {
 			sig = r
-		default:
-			if sim.IsStop(r) {
-				// Watchdog stop-unwinding: must propagate to the grant
-				// boundary, never be misread as a zombie abort.
-				panic(r)
-			}
-			if !t.readsConsistent() {
-				sig = abortSignal{stats.AbortValidation}
-				return
-			}
+			return
+		}
+		if sim.IsStop(r) {
+			// Watchdog stop-unwinding: must propagate to the grant
+			// boundary, never be misread as a zombie abort.
 			panic(r)
 		}
+		if !t.readsConsistent() {
+			sig = tm.AbortSignal{Cause: stats.AbortValidation}
+			return
+		}
+		panic(r)
 	}()
 	err = body(t)
 	return err, nil
@@ -346,8 +345,8 @@ func (t *Thread) begin() {
 	clear(t.writeVer)
 
 	ctx := t.ctx
-	ctx.TraceEvent("begin", fmt.Sprintf("attempt=%d", t.attempt))
-	ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt, Kind: telemetry.EvBegin})
+	ctx.TraceEvent("begin", fmt.Sprintf("attempt=%d", t.fsm.Attempt()))
+	ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(), Kind: telemetry.EvBegin})
 	// The inlined barriers keep the descriptor in a register (Fig 4), so
 	// TLS is charged once per transaction, at begin.
 	prev := ctx.SetCat(stats.TLS)
@@ -360,14 +359,14 @@ func (t *Thread) begin() {
 	ctx.SetCat(prev)
 
 	if t.accel != nil {
-		t.accel.Begin(t, t.attempt)
+		t.accel.Begin(t, t.fsm.Attempt())
 	}
 	if t.irrevocable {
 		ctx.TraceEvent("irrevocable", "serial attempt, no abort path")
-		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt, Kind: telemetry.EvIrrevocable})
-		ctx.SetStatus("irrevocable", t.attempt)
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(), Kind: telemetry.EvIrrevocable})
+		ctx.SetStatus("irrevocable", t.fsm.Attempt())
 	} else {
-		ctx.SetStatus("stm", t.attempt)
+		ctx.SetStatus("stm", t.fsm.Attempt())
 	}
 }
 
@@ -383,8 +382,8 @@ func (t *Thread) commitTxn() (bool, stats.AbortCause) {
 		ctx.NoteCommit()
 		ctx.TraceEvent("commit", fmt.Sprintf("reads=%d writes=%d", len(t.reads), len(t.writes)))
 		t.observeSetSizes()
-		ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.attempt))
-		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.attempt,
+		ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.fsm.Attempt()))
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
 			Kind:  telemetry.EvCommit,
 			Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)})
 	}
@@ -447,7 +446,7 @@ func (t *Thread) periodicValidate() {
 	ok, cause := t.validate(false)
 	ctx.SetCat(prev)
 	if !ok {
-		panic(abortSignal{cause})
+		panic(tm.AbortSignal{Cause: cause})
 	}
 }
 
@@ -461,7 +460,7 @@ func (t *Thread) releaseWrites() {
 
 // rollbackAll undoes every effect of the current attempt.
 func (t *Thread) rollbackAll() {
-	t.rollbackTo(savepoint{})
+	t.rollbackTo(tm.Savepoint{})
 	ctx := t.ctx
 	prev := ctx.SetCat(stats.Commit)
 	ctx.Exec(8) // abort bookkeeping
@@ -470,30 +469,30 @@ func (t *Thread) rollbackAll() {
 
 // rollbackTo reverts data and ownership to a savepoint (partial rollback
 // for nested transactions, full rollback for sp == zero).
-func (t *Thread) rollbackTo(sp savepoint) {
+func (t *Thread) rollbackTo(sp tm.Savepoint) {
 	ctx := t.ctx
 	prev := ctx.SetCat(stats.Commit)
 
 	// Restore data from the undo log, newest first.
-	for i := len(t.undo) - 1; i >= sp.nUndo; i-- {
+	for i := len(t.undo) - 1; i >= sp.Undo; i-- {
 		e := t.undo[i]
 		ctx.Load(t.undoLog + uint64(i)*entryBytes)     // entry addr word
 		ctx.Load(t.undoLog + uint64(i)*entryBytes + 8) // entry value word
 		ctx.Store(e.Addr, e.Old)
 		ctx.Exec(2)
 	}
-	t.undo = t.undo[:sp.nUndo]
+	t.undo = t.undo[:sp.Undo]
 
 	// Release records acquired since the savepoint.
-	for i := len(t.writes) - 1; i >= sp.nWrites; i-- {
+	for i := len(t.writes) - 1; i >= sp.Writes; i-- {
 		w := t.writes[i]
 		ctx.Store(w.Rec, NextVersion(w.Ver))
 		ctx.Exec(2)
 		delete(t.writeVer, w.Rec)
 	}
-	t.writes = t.writes[:sp.nWrites]
+	t.writes = t.writes[:sp.Writes]
 
-	t.reads = t.reads[:sp.nReads]
+	t.reads = t.reads[:sp.Reads]
 	if t.accel != nil {
 		t.accel.OnPartialRollback(t)
 	}
@@ -532,7 +531,7 @@ func (t *Thread) waitForChange() {
 // --- Nesting, retry, orElse ------------------------------------------------
 
 func (t *Thread) nestedAtomic(body func(tm.Txn) error) error {
-	sp := savepoint{len(t.reads), len(t.writes), len(t.undo)}
+	sp := tm.Savepoint{Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)}
 	t.saves = append(t.saves, sp)
 	t.ctx.Exec(4) // nested begin
 	err, sig := t.runBody(body)
@@ -546,12 +545,12 @@ func (t *Thread) nestedAtomic(body func(tm.Txn) error) error {
 		}
 		t.ctx.Exec(2) // nested commit merges into the parent
 		return nil
-	case retrySignal:
+	case tm.RetrySignal:
 		// Roll back progressively and propagate; the watch set keeps the
 		// nested reads so the waiter observes them.
-		t.watchReadsFrom(sp.nReads)
+		t.watchReadsFrom(sp.Reads)
 		t.rollbackTo(sp)
-		panic(retrySignal{})
+		panic(tm.RetrySignal{})
 	default:
 		panic(sig) // conflict/user aborts unwind the whole transaction
 	}
@@ -566,7 +565,7 @@ func (t *Thread) OrElse(alternatives ...func(tm.Txn) error) error {
 		return t.Atomic(func(tx tm.Txn) error { return tx.OrElse(alternatives...) })
 	}
 	for _, alt := range alternatives {
-		sp := savepoint{len(t.reads), len(t.writes), len(t.undo)}
+		sp := tm.Savepoint{Reads: len(t.reads), Writes: len(t.writes), Undo: len(t.undo)}
 		t.saves = append(t.saves, sp)
 		t.ctx.Exec(4)
 		err, sig := t.runBody(alt)
@@ -579,15 +578,15 @@ func (t *Thread) OrElse(alternatives ...func(tm.Txn) error) error {
 			}
 			t.ctx.Exec(2)
 			return nil
-		case retrySignal:
-			t.watchReadsFrom(sp.nReads)
+		case tm.RetrySignal:
+			t.watchReadsFrom(sp.Reads)
 			t.rollbackTo(sp)
 			continue
 		default:
 			panic(sig)
 		}
 	}
-	panic(retrySignal{})
+	panic(tm.RetrySignal{})
 }
 
 // Exec charges application compute to the simulated clock (attributed to
@@ -612,7 +611,7 @@ func (t *Thread) Retry() {
 		// simulator contains the panic as a CoreFault.
 		panic("stm: Retry inside an irrevocable transaction")
 	}
-	panic(retrySignal{})
+	panic(tm.RetrySignal{})
 }
 
 // Abort abandons the transaction; the enclosing Atomic returns
@@ -623,14 +622,14 @@ func (t *Thread) Abort() {
 		// Same invariant as Retry: irrevocable attempts have no abort path.
 		panic("stm: Abort inside an irrevocable transaction")
 	}
-	panic(userAbortSignal{})
+	panic(tm.UserAbortSignal{})
 }
 
 // AbortConflictForTest forces a conflict-style abort (used by failure
 // injection in tests).
 func (t *Thread) AbortConflictForTest() {
 	t.requireTxn()
-	panic(abortSignal{stats.AbortValidation})
+	panic(tm.AbortSignal{Cause: stats.AbortValidation})
 }
 
 // --- Introspection / suspension ---------------------------------------------
@@ -923,5 +922,5 @@ func (t *Thread) handleContention(rec uint64) uint64 {
 			return v
 		}
 	}
-	panic(abortSignal{stats.AbortLockConflict})
+	panic(tm.AbortSignal{Cause: stats.AbortLockConflict})
 }

@@ -1,0 +1,89 @@
+package tm
+
+import "hastm.dev/hastm/internal/stats"
+
+// This file holds the backend-neutral transaction state machine shared by
+// the simulator STM engine (internal/stm, and through it HASTM) and the
+// host-native TL2 backend (internal/native). Both backends run the same
+// control flow — attempt, abort-and-re-execute, retry-wait, escalate to
+// serial irrevocable mode past the retry budget — and differ only in how
+// an attempt reads, writes, validates and charges cost. Keeping the
+// attempt/strike/escalation bookkeeping and the panic-signal grammar here
+// guarantees the two backends cannot drift apart on retry or escalation
+// semantics: the differential suite then only has to prove the data paths
+// agree.
+
+// AbortSignal is thrown (with panic) through a transaction body when the
+// engine must abort the current attempt for the carried cause; the engine
+// rolls back and re-executes.
+type AbortSignal struct{ Cause stats.AbortCause }
+
+// RetrySignal is thrown when the body called Txn.Retry: the innermost
+// alternative rolls back and the transaction blocks until a previously
+// read location may have changed.
+type RetrySignal struct{}
+
+// UserAbortSignal is thrown when the body called Txn.Abort: the whole
+// transaction rolls back and Atomic returns ErrUserAbort.
+type UserAbortSignal struct{}
+
+// IsEngineSignal reports whether a recovered panic value belongs to the
+// shared signal grammar (as opposed to a foreign panic escaping the body).
+func IsEngineSignal(r interface{}) bool {
+	switch r.(type) {
+	case AbortSignal, RetrySignal, UserAbortSignal:
+		return true
+	}
+	return false
+}
+
+// Savepoint marks the transactional log sizes at nested-transaction entry.
+// Rolling back to a savepoint truncates the logs to these sizes — partial
+// rollback for closed nesting and orElse alternatives. Backends without an
+// undo log (the deferred-update native backend) leave Undo zero.
+type Savepoint struct {
+	Reads, Writes, Undo int
+}
+
+// AttemptFSM tracks one top-level transaction's attempt history and decides
+// when the escalation ladder fires. The distinction it encodes, shared by
+// every backend:
+//
+//   - an abort (conflict, validation failure, aggressive-mode loss) is a
+//     strike: repeated strikes indicate the transaction is being starved
+//     and escalate it to serial irrevocable mode at the retry budget;
+//   - a retry-wait (Txn.Retry) is a new attempt but NOT a strike: the
+//     transaction chose to block for a condition, it was not victimised.
+type AttemptFSM struct {
+	// RetryBudget is the number of strikes before ShouldEscalate fires.
+	// Callers gate escalation on the ladder actually being armed (a token
+	// on the simulator backends, the serial mutex on the native backend);
+	// the FSM only counts.
+	RetryBudget int
+
+	attempt int
+	strikes int
+}
+
+// BeginTxn resets the counters at the start of a new top-level transaction.
+func (f *AttemptFSM) BeginTxn() { f.attempt, f.strikes = 0, 0 }
+
+// Attempt returns the current attempt index (0 = first execution).
+func (f *AttemptFSM) Attempt() int { return f.attempt }
+
+// Strikes returns the number of aborted attempts of this transaction.
+func (f *AttemptFSM) Strikes() int { return f.strikes }
+
+// OnAbort records an aborted attempt: the next attempt has a higher index
+// and the transaction is one strike closer to escalation.
+func (f *AttemptFSM) OnAbort() { f.attempt++; f.strikes++ }
+
+// OnRetryWait records a retry-wait: the next attempt has a higher index but
+// no strike accrues.
+func (f *AttemptFSM) OnRetryWait() { f.attempt++ }
+
+// ShouldEscalate reports whether the strike count has reached the retry
+// budget, so the next attempt must run serially and irrevocably. With a
+// zero budget it fires immediately — callers that want "ladder off" must
+// not arm the ladder at all rather than pass a zero budget.
+func (f *AttemptFSM) ShouldEscalate() bool { return f.strikes >= f.RetryBudget }

@@ -72,7 +72,8 @@ type System interface {
 	Thread(ctx *sim.Ctx) Thread
 }
 
-// Thread is a core's handle for running atomic blocks.
+// Thread is a thread's handle for running atomic blocks: a simulated core
+// on the simulator backends, a host goroutine on the native backend.
 type Thread interface {
 	// Atomic runs body as a transaction, transparently re-executing on
 	// conflict aborts, until it commits or the body fails:
@@ -81,7 +82,18 @@ type Thread interface {
 	//   - body calls Abort  -> roll back, Atomic returns ErrUserAbort
 	//   - body calls Retry  -> roll back, wait for a change, re-execute
 	Atomic(body func(Txn) error) error
-	// Ctx returns the underlying core context.
+	// ID returns the thread's stable index: the simulated core id, or the
+	// goroutine slot on the host-native backend. Backend-neutral code
+	// (workload drivers, op logs) must use this instead of Ctx().ID().
+	ID() int
+	// Stamp returns the serialization stamp of the most recently completed
+	// atomic block: the simulated core clock on the simulator backends, or
+	// the TL2 commit timestamp on the native backend. Committed-op logs
+	// sorted by stamp reproduce the run's equivalent serial order.
+	Stamp() uint64
+	// Ctx returns the underlying simulated core context, or nil on
+	// host-native backends — simulator-only tooling (GC-pause inspection,
+	// cycle accounting) must check before dereferencing.
 	Ctx() *sim.Ctx
 }
 

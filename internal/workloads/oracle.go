@@ -77,7 +77,7 @@ func (l *OpLog) Serialized() []OpRecord {
 // core's clock at commit. The fault-injection conformance suite replays
 // the log serially against a sequential oracle.
 func RunThreadRecorded(th tm.Thread, ds DataStructure, cfg DriverConfig, log *OpLog) error {
-	id := th.Ctx().ID()
+	id := th.ID()
 	base := cfg.Seed + uint64(id)*0x9e3779b9 + 1
 	decide := NewRand(base)
 	for i := 0; i < cfg.Ops; i++ {
@@ -89,7 +89,7 @@ func RunThreadRecorded(th tm.Thread, ds DataStructure, cfg DriverConfig, log *Op
 		if err != nil {
 			return fmt.Errorf("op %d on %s: %w", i, ds.Name(), err)
 		}
-		log.add(OpRecord{Thread: id, Index: i, Seed: opSeed, Update: update, Stamp: th.Ctx().Clock()})
+		log.add(OpRecord{Thread: id, Index: i, Seed: opSeed, Update: update, Stamp: th.Stamp()})
 	}
 	return nil
 }

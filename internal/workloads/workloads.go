@@ -115,7 +115,7 @@ type DriverConfig struct {
 // block (the paper's coarse-grained atomic sections encapsulate what
 // coarse-grained locking would synchronise on).
 func RunThread(th tm.Thread, ds DataStructure, cfg DriverConfig) error {
-	r := NewRand(cfg.Seed + uint64(th.Ctx().ID())*0x9e3779b9 + 1)
+	r := NewRand(cfg.Seed + uint64(th.ID())*0x9e3779b9 + 1)
 	for i := 0; i < cfg.Ops; i++ {
 		update := r.Percent(cfg.UpdatePercent)
 		err := th.Atomic(func(tx tm.Txn) error {
@@ -137,7 +137,7 @@ func RunThread(th tm.Thread, ds DataStructure, cfg DriverConfig) error {
 // operation sequence as schemes that never abort — the property the
 // cross-scheme conformance tests check.
 func RunThreadStable(th tm.Thread, ds DataStructure, cfg DriverConfig) error {
-	base := cfg.Seed + uint64(th.Ctx().ID())*0x9e3779b9 + 1
+	base := cfg.Seed + uint64(th.ID())*0x9e3779b9 + 1
 	decide := NewRand(base)
 	for i := 0; i < cfg.Ops; i++ {
 		update := decide.Percent(cfg.UpdatePercent)
