@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The -native gate reads a `hastm-bench -json` document and tracks the
+// native backend's per-cell commit throughput. Unlike the
+// microbenchmark gate there is no allocation check and no upper bound —
+// a faster run always passes — because txns_per_sec on a shared runner
+// swings with host load; the wide one-sided tolerance catches real
+// regressions (a serialization bottleneck, a lock added to the commit
+// path) without flaking on noise.
+
+// NativeBaselineEntry is one service cell's committed throughput.
+type NativeBaselineEntry struct {
+	TxnsPerSec float64 `json:"txns_per_sec"`
+}
+
+// NativeBaseline is the BENCH_native_baseline.json document.
+type NativeBaseline struct {
+	Schema string                         `json:"schema"`
+	Note   string                         `json:"note,omitempty"`
+	Cells  map[string]NativeBaselineEntry `json:"cells"`
+}
+
+// benchDoc is the slice of the hastm-bench JSON document the native gate
+// needs; unknown fields are ignored so any hastm-bench/N ≥ 5 parses.
+type benchDoc struct {
+	Schema string `json:"schema"`
+	Cells  []struct {
+		Figure     string  `json:"figure"`
+		Label      string  `json:"label"`
+		Backend    string  `json:"backend"`
+		TxnsPerSec float64 `json:"txns_per_sec"`
+		Error      string  `json:"error"`
+	} `json:"cells"`
+}
+
+// parseNative extracts native-backend cells keyed "figure/label".
+func parseNative(r io.Reader) (map[string]NativeBaselineEntry, error) {
+	var doc benchDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parsing hastm-bench JSON: %v", err)
+	}
+	if !strings.HasPrefix(doc.Schema, "hastm-bench/") {
+		return nil, fmt.Errorf("input schema %q is not a hastm-bench document", doc.Schema)
+	}
+	out := map[string]NativeBaselineEntry{}
+	for _, c := range doc.Cells {
+		if c.Backend == "" || c.TxnsPerSec <= 0 {
+			continue
+		}
+		if c.Error != "" {
+			return nil, fmt.Errorf("cell %s/%s failed: %s", c.Figure, c.Label, c.Error)
+		}
+		out[c.Figure+"/"+c.Label] = NativeBaselineEntry{TxnsPerSec: c.TxnsPerSec}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no native-backend cells with txns_per_sec in input (run hastm-bench with -backend native -json)")
+	}
+	return out, nil
+}
+
+// compareNative fails when the geomean throughput ratio current/baseline
+// across all baseline cells drops below 1 - tolerance, or when a
+// baseline cell is missing from the run.
+func compareNative(base *NativeBaseline, current map[string]NativeBaselineEntry, tolerance float64) error {
+	keys := make([]string, 0, len(base.Cells))
+	for k := range base.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var problems []string
+	logRatioSum := 0.0
+	matched := 0
+	fmt.Printf("%-42s %14s %14s %7s\n", "cell", "base txns/s", "cur txns/s", "ratio")
+	for _, k := range keys {
+		b := base.Cells[k]
+		c, ok := current[k]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: in baseline but missing from run", k))
+			continue
+		}
+		ratio := c.TxnsPerSec / b.TxnsPerSec
+		logRatioSum += math.Log(ratio)
+		matched++
+		fmt.Printf("%-42s %14.0f %14.0f %7.3f\n", k, b.TxnsPerSec, c.TxnsPerSec, ratio)
+	}
+	for k := range current {
+		if _, ok := base.Cells[k]; !ok {
+			fmt.Printf("%-42s %14s (new; not in baseline — regenerate with -write)\n", k, "-")
+		}
+	}
+	if matched > 0 {
+		geomean := math.Exp(logRatioSum / float64(matched))
+		floor := 1 - tolerance
+		fmt.Printf("geomean throughput ratio: %.3f (floor %.2f)\n", geomean, floor)
+		if geomean < floor {
+			problems = append(problems,
+				fmt.Sprintf("geomean throughput ratio %.3f below %.2f (>%.0f%% slower than baseline)",
+					geomean, floor, tolerance*100))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+func readNativeBaseline(path string) (*NativeBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b NativeBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Schema != nativeBaselineSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, nativeBaselineSchema)
+	}
+	if len(b.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells", path)
+	}
+	return &b, nil
+}
+
+func writeNativeBaseline(path string, current map[string]NativeBaselineEntry) error {
+	doc := NativeBaseline{
+		Schema: nativeBaselineSchema,
+		Note:   "native service throughput from `hastm-bench -quick -service -backend native -json`; regenerate with `go run ./cmd/benchgate -native -write svc.json` on the reference machine",
+		Cells:  current,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runNativeGate(in io.Reader, baselinePath string, write bool, tolerance float64) {
+	current, err := parseNative(in)
+	if err != nil {
+		fatal(err)
+	}
+	if write {
+		if err := writeNativeBaseline(baselinePath, current); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d native cells to %s\n", len(current), baselinePath)
+		return
+	}
+	base, err := readNativeBaseline(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := compareNative(base, current, tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleServiceJSON = `{
+  "schema": "hastm-bench/6",
+  "backend": "native-tl2",
+  "cells": [
+    {"figure": "service-native", "label": "service-native/load/gap1024",
+     "backend": "native-tl2", "txns_per_sec": 500000,
+     "service": {"offered_rate": 900000, "goodput": 500000, "latency_p50": 2047,
+                 "latency_p99": 16383, "latency_p999": 32767,
+                 "offered": 2048, "committed": 1800, "shed": 248, "serialized": 0}},
+    {"figure": "service-native", "label": "service-native/skew/s0.9",
+     "backend": "native-tl2", "txns_per_sec": 400000},
+    {"figure": "fig11", "label": "sim-cell", "txns_per_sec": 0}
+  ]
+}`
+
+func TestParseNativeCells(t *testing.T) {
+	got, err := parseNative(strings.NewReader(sampleServiceJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d cells, want 2 (sim cell must be skipped): %v", len(got), got)
+	}
+	if e := got["service-native/service-native/load/gap1024"]; e.TxnsPerSec != 500000 {
+		t.Errorf("load cell entry = %+v", e)
+	}
+}
+
+func TestParseNativeRejectsBadInput(t *testing.T) {
+	if _, err := parseNative(strings.NewReader(`{"schema": "other/1", "cells": []}`)); err == nil {
+		t.Error("non-hastm-bench schema accepted")
+	}
+	if _, err := parseNative(strings.NewReader(`{"schema": "hastm-bench/6", "cells": []}`)); err == nil {
+		t.Error("document without native cells accepted")
+	}
+	failed := `{"schema": "hastm-bench/6", "cells": [
+      {"figure": "f", "label": "l", "backend": "native-tl2", "txns_per_sec": 1, "error": "watchdog"}]}`
+	if _, err := parseNative(strings.NewReader(failed)); err == nil {
+		t.Error("failed cell accepted")
+	}
+}
+
+func nativeBaselineFor(cells map[string]NativeBaselineEntry) *NativeBaseline {
+	return &NativeBaseline{Schema: nativeBaselineSchema, Cells: cells}
+}
+
+func TestCompareNativeGates(t *testing.T) {
+	base := map[string]NativeBaselineEntry{
+		"svc/load": {TxnsPerSec: 1000},
+		"svc/skew": {TxnsPerSec: 2000},
+	}
+
+	// Identical throughput passes.
+	if err := compareNative(nativeBaselineFor(base), base, 0.30); err != nil {
+		t.Errorf("identical compare failed: %v", err)
+	}
+
+	// A drop inside the tolerance passes, and a speedup always passes.
+	ok := map[string]NativeBaselineEntry{
+		"svc/load": {TxnsPerSec: 800},
+		"svc/skew": {TxnsPerSec: 2500},
+	}
+	if err := compareNative(nativeBaselineFor(base), ok, 0.30); err != nil {
+		t.Errorf("within-tolerance compare failed: %v", err)
+	}
+
+	// A geomean drop beyond the tolerance fails.
+	slow := map[string]NativeBaselineEntry{
+		"svc/load": {TxnsPerSec: 600},
+		"svc/skew": {TxnsPerSec: 1300},
+	}
+	if err := compareNative(nativeBaselineFor(base), slow, 0.30); err == nil {
+		t.Error("throughput regression not detected")
+	}
+
+	// A baseline cell missing from the run fails (coverage loss).
+	missing := map[string]NativeBaselineEntry{
+		"svc/load": {TxnsPerSec: 1000},
+	}
+	if err := compareNative(nativeBaselineFor(base), missing, 0.30); err == nil {
+		t.Error("missing cell not detected")
+	}
+}

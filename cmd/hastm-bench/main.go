@@ -45,6 +45,17 @@
 //	                          # NOT deterministic, never comparable to the
 //	                          # simulated figures); cells run serially so
 //	                          # they don't steal each other's cores
+//	hastm-bench -service
+//	                          # open-loop service suite instead of figures:
+//	                          # the bank/KV service cell under a seeded
+//	                          # Zipfian arrival process, swept over offered
+//	                          # load and key skew; reports sojourn-latency
+//	                          # percentiles, goodput and admission-control
+//	                          # shed counts. On the sim backend arrivals are
+//	                          # scheduled in simulated cycles (byte-identical
+//	                          # across -j and -sched); with -backend native
+//	                          # arrivals are paced on the host clock and
+//	                          # latencies are host nanoseconds
 //
 // Reports go to stdout, diagnostics (progress, timing, the per-figure
 // simulation-throughput summary) to stderr. Every simulation cell runs on
@@ -222,6 +233,91 @@ func runNative(o harness.Options, progress, jsonF, csvF bool) int {
 	return 0
 }
 
+// runService runs the open-loop service suite: latency-vs-load and skew
+// sweeps of the bank/KV service cell. On the simulator backend stdout is
+// derived entirely from deterministic simulated state (byte-identical
+// across -j and schedulers) and cells run on the -j worker pool; on the
+// native backend cells run serially — each already uses 8 goroutines —
+// and every number is host-dependent. Each cell's committed-op log is
+// replayed through the sequential oracle inside the run; a divergence
+// fails the cell.
+func runService(o harness.Options, nativeBackend bool, workers int, progress, jsonF, csvF bool, traceF string) int {
+	var plan *harness.Plan
+	if nativeBackend {
+		plan = harness.ServiceNativePlan(o)
+		workers = 1
+	} else {
+		plan = harness.ServicePlan(o)
+	}
+	plans := []*harness.Plan{plan}
+	stderrSync := telemetry.NewSyncWriter(os.Stderr)
+	cfg := harness.ExecConfig{Workers: workers}
+	if progress {
+		cfg.ProgressSync = stderrSync
+	}
+	start := time.Now()
+	reports := harness.Execute(plans, cfg)
+	elapsed := time.Since(start)
+
+	if traceF != "" && !nativeBackend {
+		tw := stderrSync
+		var f *os.File
+		if traceF != "-" {
+			var err error
+			f, err = os.Create(traceF)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: trace: %v\n", err)
+				return 1
+			}
+			tw = telemetry.NewSyncWriter(f)
+		}
+		written, dropped, err := harness.WriteTxnTraces(plans, tw)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "hastm-bench: trace: %d events written, %d dropped\n", written, dropped)
+	}
+
+	switch {
+	case jsonF:
+		doc := harness.NewBenchJSON(o, workers, plans, reports, elapsed)
+		if err := doc.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: json: %v\n", err)
+			return 1
+		}
+	case csvF:
+		for _, rep := range reports {
+			if err := rep.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hastm-bench: csv: %v\n", err)
+				return 1
+			}
+		}
+	default:
+		for _, rep := range reports {
+			rep.Render(os.Stdout)
+		}
+	}
+	backend := "sim"
+	if nativeBackend {
+		backend = "native"
+	}
+	fmt.Fprintf(os.Stderr, "hastm-bench: service (%s backend), %d cells in %v (-j %d)\n",
+		backend, len(plan.Cells), elapsed.Round(time.Millisecond), workers)
+	if failed := harness.FailedCells(plans); len(failed) > 0 {
+		for _, c := range failed {
+			fmt.Fprintf(os.Stderr, "hastm-bench: cell %s/%s FAILED:\n%s\n", c.Figure, c.Label, c.Err)
+		}
+		return 1
+	}
+	return 0
+}
+
 // throughputSummary prints one stderr line per figure: total simulated
 // cycles, total host time spent in that figure's cells, and the resulting
 // simulated-cycles-per-host-second rate. Host timings are not
@@ -264,6 +360,7 @@ func realMain() int {
 		traceMax = flag.Int("trace-max", telemetry.DefaultTraceLimit, "per-cell transaction-event cap for -trace")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		faultsF  = flag.String("faults", "", "run the fault-injection conformance sweep with this spec (e.g. suspend=900,evict=600,seed=3)")
+		svcF     = flag.Bool("service", false, "run the open-loop service suite instead of figures (latency vs load and skew sweeps; honours -backend)")
 		advF     = flag.String("adversarial", "", "run the progress-guarantee suite instead of figures: all, storm or starve")
 		noLadder = flag.Bool("no-ladder", false, "disarm the escalation ladder in the -adversarial suite (the watchdog must then trip)")
 		cycleBud = flag.Uint64("cycle-budget", 2_000_000_000, "hard per-run simulated-cycle budget for figure cells (0 = unlimited)")
@@ -345,10 +442,17 @@ func realMain() int {
 	switch *backendF {
 	case "sim":
 	case "native":
+		if *svcF {
+			return runService(o, true, *workers, *progress, *jsonF, *csvF, *traceF)
+		}
 		return runNative(o, *progress, *jsonF, *csvF)
 	default:
 		fmt.Fprintf(os.Stderr, "hastm-bench: -backend must be sim or native, got %q\n", *backendF)
 		return 2
+	}
+
+	if *svcF {
+		return runService(o, false, *workers, *progress, *jsonF, *csvF, *traceF)
 	}
 
 	if *faultsF != "" {

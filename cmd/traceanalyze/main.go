@@ -92,6 +92,7 @@ func printResult(r traces.Result) {
 // cellStat accumulates one experiment cell's transaction outcomes.
 type cellStat struct {
 	begins, commits, aborts, retries, fallbacks, modes, errors uint64
+	sheds, serializes                                          uint64
 }
 
 // strictChecker verifies trace completeness: every begin must reach
@@ -152,9 +153,22 @@ func (s *strictChecker) observe(ev *telemetry.TxnEvent, path string, lineNo int)
 					path, lineNo, ev.Cell, ev.Core))
 		}
 		s.irrevocable[key] = lineNo
-	case telemetry.EvMode, telemetry.EvEscalate:
+	case telemetry.EvShed:
+		// A shed request is turned away by admission control before any
+		// attempt starts: it stands alone — no begin precedes it and no
+		// fake abort follows (mirroring the body-error rule). A pending
+		// begin here means the service shed mid-attempt, which it never
+		// does.
+		if at := s.pending[key]; at != 0 {
+			s.violations = append(s.violations,
+				fmt.Sprintf("%s:%d: shed while the begin at line %d is unterminated (cell %q, core %d)",
+					path, lineNo, at, ev.Cell, ev.Core))
+		}
+	case telemetry.EvMode, telemetry.EvEscalate, telemetry.EvSerialize:
 		// Informational; not part of the attempt life-cycle. (Escalation
-		// is announced before the irrevocable attempt begins.)
+		// is announced before the irrevocable attempt begins; serialize
+		// announces that admission control forced the next transaction
+		// through the irrevocable ladder — its begin follows.)
 	}
 }
 
@@ -219,7 +233,8 @@ func analyzeJSONL(path string, top int, strict bool) error {
 		switch ev.Kind {
 		case telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
 			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode,
-			telemetry.EvError, telemetry.EvEscalate, telemetry.EvIrrevocable:
+			telemetry.EvError, telemetry.EvEscalate, telemetry.EvIrrevocable,
+			telemetry.EvShed, telemetry.EvSerialize:
 		default:
 			return fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, ev.Kind)
 		}
@@ -262,6 +277,10 @@ func analyzeJSONL(path string, top int, strict bool) error {
 			cs.modes++
 		case telemetry.EvError:
 			cs.errors++
+		case telemetry.EvShed:
+			cs.sheds++
+		case telemetry.EvSerialize:
+			cs.serializes++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -276,7 +295,8 @@ func analyzeJSONL(path string, top int, strict bool) error {
 	fmt.Println("event kinds:")
 	for _, k := range []string{telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
 		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode, telemetry.EvError,
-		telemetry.EvEscalate, telemetry.EvIrrevocable} {
+		telemetry.EvEscalate, telemetry.EvIrrevocable, telemetry.EvShed,
+		telemetry.EvSerialize} {
 		if n := kinds[k]; n > 0 {
 			fmt.Printf("  %-10s %8d\n", k, n)
 		}
@@ -328,10 +348,10 @@ func analyzeJSONL(path string, top int, strict bool) error {
 	if top > 0 && len(shown) > top {
 		shown = shown[:top]
 	}
-	fmt.Printf("  %-36s %8s %8s %8s %9s\n", "cell", "commits", "aborts", "retries", "fallbacks")
+	fmt.Printf("  %-36s %8s %8s %8s %9s %6s\n", "cell", "commits", "aborts", "retries", "fallbacks", "shed")
 	for _, name := range shown {
 		cs := cells[name]
-		fmt.Printf("  %-36s %8d %8d %8d %9d\n", name, cs.commits, cs.aborts, cs.retries, cs.fallbacks)
+		fmt.Printf("  %-36s %8d %8d %8d %9d %6d\n", name, cs.commits, cs.aborts, cs.retries, cs.fallbacks, cs.sheds)
 	}
 	if len(shown) < len(cellOrder) {
 		fmt.Printf("  ... %d more cells (-top 0 for all)\n", len(cellOrder)-len(shown))

@@ -31,7 +31,12 @@ import (
 // carry backend and txns_per_sec (committed transactions per host second
 // over the measured phase); their wall_cycles is 0 — host time is their
 // only clock.
-const BenchSchema = "hastm-bench/5"
+// hastm-bench/6: service cells (`hastm-bench -service`) gain a service
+// block: latency_p50/p99/p999 (sojourn latency, simulated cycles on sim /
+// host ns on native), offered_rate and goodput (requests per million
+// cycles on sim / per second on native), offered/committed counts, and
+// the admission-control shed and serialized counts.
+const BenchSchema = "hastm-bench/6"
 
 // SchedRecord is the host-side scheduler-efficiency block of a cell: how
 // many architectural ops the simulator granted and how many scheduler
@@ -67,6 +72,9 @@ type CellRecord struct {
 	Stats            stats.Totals      `json:"stats,omitempty"`
 	Telemetry        *telemetry.Totals `json:"telemetry,omitempty"`
 	Sched            *SchedRecord      `json:"sched,omitempty"`
+	// Service is the open-loop service block (latency percentiles, offered
+	// rate, goodput, shed counts); only on `-service` cells.
+	Service *ServiceRecord `json:"service,omitempty"`
 	// Error is the cell's contained failure report ("" = the run
 	// succeeded): a recovered core panic or a progress-watchdog violation.
 	Error string `json:"error,omitempty"`
@@ -133,6 +141,7 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 					rec.Telemetry = &tot
 				}
 			}
+			rec.Service = c.Metrics().Service
 			if sc := c.Metrics().Sched; sc.Grants > 0 {
 				rec.Sched = &SchedRecord{
 					Grants:          sc.Grants,

@@ -230,6 +230,10 @@ type RunMetrics struct {
 	// Backend names the backend that produced the run ("native-tl2"); ""
 	// means the cycle-ordered simulator.
 	Backend string
+	// Service carries the open-loop service observations (latency
+	// percentiles, offered rate, goodput, shed counts) of a service cell;
+	// nil on every other run.
+	Service *ServiceRecord
 }
 
 // validateConfig rejects unknown schemes/workloads and bad core counts,

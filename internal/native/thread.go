@@ -63,6 +63,12 @@ type Thread struct {
 	// the body-error path, touched collects stripes to bump at commit.
 	undo    []undoEntry
 	touched []int
+
+	// serializeNext makes the next top-level Atomic force-escalate on its
+	// first attempt (admission control routing a hot-key transaction
+	// straight onto the serial path). Consumed by Atomic; inert when the
+	// ladder is not armed.
+	serializeNext bool
 }
 
 var (
@@ -126,6 +132,10 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		return t.nestedAtomic(body)
 	}
 	t.fsm.BeginTxn()
+	if t.serializeNext {
+		t.serializeNext = false
+		t.fsm.ForceEscalate()
+	}
 	t.watch = t.watch[:0]
 	for {
 		if t.sys.armed && t.fsm.ShouldEscalate() {
@@ -143,6 +153,18 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 			t.hostBackoff()
 		}
 	}
+}
+
+// AtomicSerialized runs body as a transaction that takes the serial
+// irrevocable path on its first attempt: admission control's "serialize"
+// action for transactions known to target a hot key. When the ladder is
+// not armed (retry budget 0) it degrades to a plain Atomic. Inside a
+// transaction it is an ordinary closed-nested block.
+func (t *Thread) AtomicSerialized(body func(tm.Txn) error) error {
+	if !t.inTxn {
+		t.serializeNext = true
+	}
+	return t.Atomic(body)
 }
 
 // attemptOnce runs one revocable attempt under the ladder's shared side.

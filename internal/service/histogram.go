@@ -1,0 +1,90 @@
+package service
+
+import "math/bits"
+
+// Histogram is a fixed-boundary latency histogram: 8 exact buckets for
+// values 0–7, then 8 log-spaced sub-buckets per power of two up to the
+// full uint64 range. The boundaries are a pure function of the bucket
+// index — no configuration, no host state — so per-core histograms are
+// deterministic on the simulator backend and merging is a commutative sum,
+// preserving byte-identical reports across worker counts and schedulers.
+// Relative bucket width is at most 1/8, which bounds the error of the
+// reported percentiles.
+const histSub = 8 // sub-buckets per octave (and exact buckets below 8)
+
+// NumBuckets is the fixed bucket count: values 0–7 exactly, then 8
+// sub-buckets for each of the 61 octaves [8,16), [16,32), …, [2^63, 2^64).
+const NumBuckets = histSub + 61*histSub
+
+// Histogram records counts; the zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets]uint64
+	total  uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v) - 4) // v >= 8, so Len >= 4
+	return histSub + int(exp)*histSub + int((v>>exp)-histSub)
+}
+
+// BucketUpper returns the largest value bucket i holds — the value
+// Percentile reports when the rank lands in bucket i.
+func BucketUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	oct := uint((i - histSub) / histSub)
+	sub := uint64((i - histSub) % histSub)
+	return ((histSub+sub+1)<<oct - 1)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Merge adds o's counts into h. Addition commutes, so merging per-core
+// histograms in any order yields the same result.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// Percentile returns the upper bound of the bucket holding the q-quantile
+// observation (q in [0, 1]), or 0 for an empty histogram. The rank is
+// ceil(q·total) clamped to [1, total], so Percentile(1) is the bucketed
+// maximum and a one-sample histogram reports that sample's bucket for
+// every q.
+func (h *Histogram) Percentile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if float64(rank) < q*float64(h.total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1) // unreachable: cum reaches total
+}

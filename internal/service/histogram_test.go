@@ -1,0 +1,89 @@
+package service
+
+import "testing"
+
+// Buckets 0..15 are exact (values below 16 map one-to-one); above that
+// each octave splits into histSub log-spaced sub-buckets. BucketUpper
+// must be the largest value its bucket holds: the round trip
+// bucketOf(BucketUpper(i)) == i and the strict increase across the
+// boundary pin every edge exactly.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for i := 0; i < NumBuckets; i++ {
+		u := BucketUpper(i)
+		if got := bucketOf(u); got != i {
+			t.Fatalf("bucketOf(BucketUpper(%d)=%d) = %d", i, u, got)
+		}
+		if i < NumBuckets-1 {
+			if got := bucketOf(u + 1); got != i+1 {
+				t.Fatalf("bucketOf(%d) = %d, want %d (boundary leak)", u+1, got, i+1)
+			}
+		}
+	}
+	// Exact region: values below 2*histSub are their own bucket.
+	for v := uint64(0); v < 2*histSub; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact", v, got)
+		}
+	}
+	// The top bucket must hold the maximum value.
+	if got := bucketOf(^uint64(0)); got != NumBuckets-1 {
+		t.Fatalf("bucketOf(MaxUint64) = %d, want %d", got, NumBuckets-1)
+	}
+}
+
+// Percentile reports the upper bound of the bucket holding the rank, so
+// the error is bounded by the bucket width (≤ 1/histSub relative).
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1.0} {
+		exact := uint64(q * 1000)
+		got := h.Percentile(q)
+		if got < exact {
+			t.Errorf("p%g = %d underestimates the exact rank value %d", q*100, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/histSub)+1 {
+			t.Errorf("p%g = %d exceeds the bucket-width bound over %d", q*100, got, exact)
+		}
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	if got := h.Percentile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %d, want 0", got)
+	}
+	h.Record(5)
+	// One sample: every quantile lands in its bucket; 5 < histSub is exact.
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := h.Percentile(q); got != 5 {
+			t.Fatalf("single-sample p%g = %d, want 5", q*100, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for v := uint64(0); v < 100; v++ {
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.Total() != all.Total() {
+		t.Fatalf("merged total %d, want %d", a.Total(), all.Total())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if x, y := a.Percentile(q), all.Percentile(q); x != y {
+			t.Fatalf("p%g: merged %d vs direct %d", q*100, x, y)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/telemetry"
+	"hastm.dev/hastm/internal/tm"
+	"hastm.dev/hastm/internal/workloads"
+)
+
+// AdmissionConfig tunes the service's admission control. Both mechanisms
+// run per core on deterministic state, so the simulator backend's reports
+// stay byte-identical across worker counts and schedulers.
+type AdmissionConfig struct {
+	// ShedAfter sheds a request whose queueing delay (time between its
+	// scheduled arrival and the core picking it up) exceeds this budget —
+	// simulated cycles on the sim backend, nanoseconds on native. 0
+	// disables queue-delay shedding.
+	ShedAfter uint64
+	// HotThreshold declares a key hot when the core has observed this many
+	// conflict aborts against it within the current decay window. 0
+	// disables hot-key detection.
+	HotThreshold int
+	// HotWindow is the number of requests between decay steps (each halves
+	// every key's abort score). 0 means 64.
+	HotWindow int
+	// Serialize routes writes to hot keys through the irrevocable
+	// escalation ladder (one at a time, no abort path) instead of shedding
+	// them.
+	Serialize bool
+}
+
+// Config describes one service cell.
+type Config struct {
+	Bank BankConfig
+	// Requests is the measured request count per core.
+	Requests int
+	// Warmup is the read-only warmup request count per core.
+	Warmup int
+	// MeanGap is the mean inter-arrival gap of one core's request stream:
+	// simulated cycles on the sim backend, nanoseconds on native. The
+	// cell-wide offered rate is cores/MeanGap. 0 means back-to-back
+	// arrivals (saturation).
+	MeanGap   uint64
+	Seed      uint64
+	Admission AdmissionConfig
+}
+
+// CellMetrics accumulates one core's service observations; the harness
+// merges the per-core instances (sums and histogram merges commute).
+type CellMetrics struct {
+	Offered    uint64
+	Committed  uint64
+	Shed       uint64
+	Serialized uint64
+	Hist       Histogram
+}
+
+// Merge folds o into m.
+func (m *CellMetrics) Merge(o *CellMetrics) {
+	m.Offered += o.Offered
+	m.Committed += o.Committed
+	m.Shed += o.Shed
+	m.Serialized += o.Serialized
+	m.Hist.Merge(&o.Hist)
+}
+
+// admission is one core's admission-control state: per-key conflict-abort
+// scores with periodic halving, fed by the driver's attempt counts.
+type admission struct {
+	cfg        AdmissionConfig
+	score      map[uint64]int
+	sinceDecay int
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.HotWindow == 0 {
+		cfg.HotWindow = 64
+	}
+	return &admission{cfg: cfg, score: make(map[uint64]int)}
+}
+
+// tick advances the decay clock by one request.
+func (a *admission) tick() {
+	if a.cfg.HotThreshold == 0 {
+		return
+	}
+	a.sinceDecay++
+	if a.sinceDecay >= a.cfg.HotWindow {
+		a.sinceDecay = 0
+		for k, s := range a.score {
+			if s >>= 1; s == 0 {
+				delete(a.score, k)
+			} else {
+				a.score[k] = s
+			}
+		}
+	}
+}
+
+// noteAborts credits n conflict aborts against key.
+func (a *admission) noteAborts(key uint64, n int) {
+	if a.cfg.HotThreshold == 0 || n <= 0 {
+		return
+	}
+	a.score[key] += n
+}
+
+// hot reports whether key has crossed the conflict-storm threshold.
+func (a *admission) hot(key uint64) bool {
+	return a.cfg.HotThreshold > 0 && a.score[key] >= a.cfg.HotThreshold
+}
+
+// drawGap draws one inter-arrival gap, uniform in [mean/2, 3·mean/2] so
+// the mean offered rate is 1/mean with deterministic jitter.
+func drawGap(r *workloads.Rand, mean uint64) uint64 {
+	if mean == 0 {
+		return 0
+	}
+	return mean/2 + r.Intn(mean+1)
+}
+
+// serializer is the admission hook both backends implement: run the next
+// transaction through the irrevocable ladder on its first attempt.
+type serializer interface {
+	AtomicSerialized(func(tm.Txn) error) error
+}
+
+// opSeed derives the retry-stable per-request seed, matching the scheme
+// the closed-loop drivers use.
+func opSeed(base uint64, i int) uint64 { return base ^ (uint64(i+1) * 0x9e3779b97f4a7c15) }
+
+// seedBase derives one core's seed stream base from the cell seed.
+func seedBase(seed uint64, id int) uint64 { return seed + uint64(id)*0x9e3779b9 + 1 }
+
+// RunCoreSim drives one simulator core's open-loop request stream over the
+// measured phase. Arrivals are scheduled on the core's own simulated
+// clock: the i-th request arrives at start + Σ gaps, the core idles
+// (Exec) until then if it is early, and a late core's backlog shows up as
+// queueing delay inside the recorded sojourn — the open-loop property.
+// Committed requests are appended to log (stamped with the commit clock)
+// for sequential-oracle replay.
+func RunCoreSim(c *sim.Ctx, th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, log *workloads.OpLog) error {
+	base := seedBase(cfg.Seed, c.ID())
+	gaps := workloads.NewRand(base ^ 0xa5a5a5a55a5a5a5a)
+	adm := newAdmission(cfg.Admission)
+	arrival := c.Clock()
+	for i := 0; i < cfg.Requests; i++ {
+		arrival += drawGap(gaps, cfg.MeanGap)
+		if c.Clock() < arrival {
+			c.Exec(arrival - c.Clock())
+		}
+		cm.Offered++
+		adm.tick()
+		seed := opSeed(base, i)
+		key, writes := b.Classify(seed)
+		if cfg.Admission.ShedAfter > 0 && c.Clock()-arrival > cfg.Admission.ShedAfter {
+			cm.Shed++
+			c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvShed, Cause: "queue-delay"})
+			continue
+		}
+		serialize := false
+		if writes && adm.hot(key) {
+			if cfg.Admission.Serialize {
+				serialize = true
+			} else {
+				cm.Shed++
+				c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvShed, Cause: "hot-key"})
+				continue
+			}
+		}
+		attempts := 0
+		body := func(tx tm.Txn) error {
+			attempts++
+			return b.Op(tx, workloads.NewRand(seed), writes)
+		}
+		var err error
+		if sz, ok := th.(serializer); serialize && ok {
+			cm.Serialized++
+			c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvSerialize, Cause: "hot-key"})
+			err = sz.AtomicSerialized(body)
+		} else {
+			err = th.Atomic(body)
+		}
+		if err != nil {
+			return fmt.Errorf("service request %d: %w", i, err)
+		}
+		if attempts > 1 {
+			adm.noteAborts(key, attempts-1)
+		}
+		cm.Committed++
+		cm.Hist.Record(c.Clock() - arrival)
+		if log != nil {
+			log.Add(workloads.OpRecord{Thread: c.ID(), Index: i, Seed: seed, Update: writes, Stamp: th.Stamp()})
+		}
+	}
+	return nil
+}
+
+// RunCoreNative is RunCoreSim for the native TL2 backend: arrivals are
+// paced on the host clock (nanosecond gaps from the same seeded stream),
+// sojourns are host nanoseconds, and nothing is deterministic — native
+// service numbers live on the same axis as every other host measurement.
+// Commit stamps are TL2 write versions, so the log still oracle-replays.
+func RunCoreNative(th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, log *workloads.OpLog) error {
+	base := seedBase(cfg.Seed, th.ID())
+	gaps := workloads.NewRand(base ^ 0xa5a5a5a55a5a5a5a)
+	adm := newAdmission(cfg.Admission)
+	start := time.Now()
+	var arrival time.Duration
+	for i := 0; i < cfg.Requests; i++ {
+		arrival += time.Duration(drawGap(gaps, cfg.MeanGap))
+		if now := time.Since(start); now < arrival {
+			time.Sleep(arrival - now)
+		}
+		cm.Offered++
+		adm.tick()
+		seed := opSeed(base, i)
+		key, writes := b.Classify(seed)
+		if wait := time.Since(start) - arrival; cfg.Admission.ShedAfter > 0 && wait > time.Duration(cfg.Admission.ShedAfter) {
+			cm.Shed++
+			continue
+		}
+		serialize := false
+		if writes && adm.hot(key) {
+			if cfg.Admission.Serialize {
+				serialize = true
+			} else {
+				cm.Shed++
+				continue
+			}
+		}
+		attempts := 0
+		body := func(tx tm.Txn) error {
+			attempts++
+			return b.Op(tx, workloads.NewRand(seed), writes)
+		}
+		var err error
+		if sz, ok := th.(serializer); serialize && ok {
+			cm.Serialized++
+			err = sz.AtomicSerialized(body)
+		} else {
+			err = th.Atomic(body)
+		}
+		if err != nil {
+			return fmt.Errorf("service request %d: %w", i, err)
+		}
+		if attempts > 1 {
+			adm.noteAborts(key, attempts-1)
+		}
+		cm.Committed++
+		cm.Hist.Record(uint64(time.Since(start) - arrival))
+		if log != nil {
+			log.Add(workloads.OpRecord{Thread: th.ID(), Index: i, Seed: seed, Update: writes, Stamp: th.Stamp()})
+		}
+	}
+	return nil
+}
+
+// RunWarmup drives read-only warmup requests closed-loop (no pacing, no
+// logging): it exists to warm caches and probe paths before the barrier,
+// leaving the measured phase's op log as the complete mutation history.
+func RunWarmup(th tm.Thread, b *Bank, cfg Config) error {
+	r := workloads.NewRand(seedBase(cfg.Seed+7777, th.ID()))
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := th.Atomic(func(tx tm.Txn) error { return b.WarmupOp(tx, r) }); err != nil {
+			return fmt.Errorf("service warmup %d: %w", i, err)
+		}
+	}
+	return nil
+}

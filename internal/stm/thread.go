@@ -84,6 +84,11 @@ type Thread struct {
 	ladder      *tm.Backoff
 	irrevocable bool
 	irrevStart  uint64 // clock at token acquisition, for cycles-held accounting
+
+	// serializeNext makes the next top-level Atomic force-escalate on its
+	// first attempt (admission control routing a hot-key transaction
+	// straight through the irrevocable ladder). Consumed by Atomic.
+	serializeNext bool
 }
 
 var (
@@ -139,6 +144,10 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		return t.nestedAtomic(body)
 	}
 	t.fsm.BeginTxn()
+	if t.serializeNext {
+		t.serializeNext = false
+		t.fsm.ForceEscalate()
+	}
 	t.watch = t.watch[:0]
 	t.txnSeq++
 	for {
@@ -180,6 +189,19 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 			t.afterAbort(s.Cause)
 		}
 	}
+}
+
+// AtomicSerialized runs body as a transaction that escalates to serial
+// irrevocable mode on its first attempt: admission control's "serialize"
+// action for transactions known to target a hot key. When the escalation
+// ladder is not configured (Progress.Token nil) it degrades to a plain
+// Atomic — the forced flag is never consulted. Inside a transaction it is
+// an ordinary closed-nested block.
+func (t *Thread) AtomicSerialized(body func(tm.Txn) error) error {
+	if !t.inTxn {
+		t.serializeNext = true
+	}
+	return t.Atomic(body)
 }
 
 // BodyErrorCause is the cause string carried by the EvError trace event a

@@ -48,6 +48,16 @@ const (
 	// token: it has no abort path and must terminate with commit (or a body
 	// error). Emitted after the attempt's begin event.
 	EvIrrevocable = "irrevocable"
+	// EvShed marks a service request rejected by admission control before
+	// its transaction ever began: nothing executed, nothing conflicted, so
+	// it is a standalone event — no begin precedes it and no fake abort
+	// follows it (mirroring the body-error rule above).
+	EvShed = "shed"
+	// EvSerialize marks a service request that admission control routed
+	// through the irrevocable ladder because it targets a hot key. It is
+	// informational: the transaction's own begin/escalate/irrevocable/commit
+	// events follow as usual.
+	EvSerialize = "serialize"
 )
 
 // TraceBuffer collects transaction events from every core of one machine.

@@ -63,10 +63,18 @@ type AttemptFSM struct {
 
 	attempt int
 	strikes int
+	forced  bool
 }
 
 // BeginTxn resets the counters at the start of a new top-level transaction.
-func (f *AttemptFSM) BeginTxn() { f.attempt, f.strikes = 0, 0 }
+func (f *AttemptFSM) BeginTxn() { f.attempt, f.strikes, f.forced = 0, 0, false }
+
+// ForceEscalate makes ShouldEscalate fire on the current transaction's next
+// check regardless of the strike count. Admission control uses this to
+// serialise a transaction known to target contested state (a hot key)
+// before it burns its retry budget discovering the conflict itself. The
+// flag is per-transaction: BeginTxn clears it.
+func (f *AttemptFSM) ForceEscalate() { f.forced = true }
 
 // Attempt returns the current attempt index (0 = first execution).
 func (f *AttemptFSM) Attempt() int { return f.attempt }
@@ -86,4 +94,4 @@ func (f *AttemptFSM) OnRetryWait() { f.attempt++ }
 // budget, so the next attempt must run serially and irrevocably. With a
 // zero budget it fires immediately — callers that want "ladder off" must
 // not arm the ladder at all rather than pass a zero budget.
-func (f *AttemptFSM) ShouldEscalate() bool { return f.strikes >= f.RetryBudget }
+func (f *AttemptFSM) ShouldEscalate() bool { return f.forced || f.strikes >= f.RetryBudget }

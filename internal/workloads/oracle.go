@@ -40,6 +40,11 @@ func (l *OpLog) add(r OpRecord) {
 	l.mu.Unlock()
 }
 
+// Add appends one committed-operation record. Exposed for drivers that
+// live outside this package (the open-loop service driver) but want their
+// runs verified by the same sequential oracle.
+func (l *OpLog) Add(r OpRecord) { l.add(r) }
+
 // Len returns how many operations committed.
 func (l *OpLog) Len() int {
 	l.mu.Lock()
