@@ -128,14 +128,21 @@ func (s *strictChecker) observe(ev *telemetry.TxnEvent, path string, lineNo int)
 					path, lineNo, at, ev.Cell, ev.Core))
 		}
 		s.pending[key] = lineNo
-	case telemetry.EvCommit, telemetry.EvAbort, telemetry.EvRetry, telemetry.EvError:
+	case telemetry.EvCommit, telemetry.EvAbort, telemetry.EvRetry,
+		telemetry.EvError, telemetry.EvWriterRestart:
+		// EvWriterRestart terminates an MVCC snapshot attempt exactly like a
+		// retry-wait terminates one: the attempt re-executes (pinned to
+		// writer mode), so a begin must be pending — and an irrevocable
+		// attempt can never restart (every other core is drained, so its
+		// snapshot cannot go stale).
 		if s.pending[key] == 0 {
 			s.violations = append(s.violations,
 				fmt.Sprintf("%s:%d: %s with no begin pending (cell %q, core %d)",
 					path, lineNo, ev.Kind, ev.Cell, ev.Core))
 		}
 		if at := s.irrevocable[key]; at != 0 &&
-			(ev.Kind == telemetry.EvAbort || ev.Kind == telemetry.EvRetry) {
+			(ev.Kind == telemetry.EvAbort || ev.Kind == telemetry.EvRetry ||
+				ev.Kind == telemetry.EvWriterRestart) {
 			s.violations = append(s.violations,
 				fmt.Sprintf("%s:%d: %s of the irrevocable attempt marked at line %d (cell %q, core %d)",
 					path, lineNo, ev.Kind, at, ev.Cell, ev.Core))
@@ -164,11 +171,14 @@ func (s *strictChecker) observe(ev *telemetry.TxnEvent, path string, lineNo int)
 				fmt.Sprintf("%s:%d: shed while the begin at line %d is unterminated (cell %q, core %d)",
 					path, lineNo, at, ev.Cell, ev.Core))
 		}
-	case telemetry.EvMode, telemetry.EvEscalate, telemetry.EvSerialize:
+	case telemetry.EvMode, telemetry.EvEscalate, telemetry.EvSerialize,
+		telemetry.EvUpgrade:
 		// Informational; not part of the attempt life-cycle. (Escalation
 		// is announced before the irrevocable attempt begins; serialize
 		// announces that admission control forced the next transaction
-		// through the irrevocable ladder — its begin follows.)
+		// through the irrevocable ladder — its begin follows; upgrade
+		// announces an MVCC snapshot attempt switching to writer mode
+		// mid-attempt — its own commit or abort still terminates it.)
 	}
 }
 
@@ -234,7 +244,8 @@ func analyzeJSONL(path string, top int, strict bool) error {
 		case telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
 			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode,
 			telemetry.EvError, telemetry.EvEscalate, telemetry.EvIrrevocable,
-			telemetry.EvShed, telemetry.EvSerialize:
+			telemetry.EvShed, telemetry.EvSerialize, telemetry.EvUpgrade,
+			telemetry.EvWriterRestart:
 		default:
 			return fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, ev.Kind)
 		}
@@ -296,7 +307,7 @@ func analyzeJSONL(path string, top int, strict bool) error {
 	for _, k := range []string{telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
 		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode, telemetry.EvError,
 		telemetry.EvEscalate, telemetry.EvIrrevocable, telemetry.EvShed,
-		telemetry.EvSerialize} {
+		telemetry.EvSerialize, telemetry.EvUpgrade, telemetry.EvWriterRestart} {
 		if n := kinds[k]; n > 0 {
 			fmt.Printf("  %-10s %8d\n", k, n)
 		}

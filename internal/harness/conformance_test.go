@@ -10,7 +10,7 @@ import "testing"
 // applies an op twice shows up as a fingerprint mismatch.
 func TestCrossSchemeConformance(t *testing.T) {
 	o := QuickOptions()
-	schemes := []string{SchemeSTM, SchemeHASTM, SchemeHyTM, SchemeHTM, SchemeLock}
+	schemes := []string{SchemeSTM, SchemeLazy, SchemeMVCC, SchemeHASTM, SchemeHyTM, SchemeHTM, SchemeLock}
 	for _, wl := range Workloads() {
 		ref, err := FinalStateHash(SchemeSeq, wl, 1, o, 20)
 		if err != nil {

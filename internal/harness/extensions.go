@@ -32,6 +32,7 @@ func Extensions() []Spec {
 		{"ext-granularity", "Object- vs cache-line-granularity conflict detection", planExtGranularity},
 		{"ext-smt", "SMT: four hardware threads on two shared L1s vs four full cores", planExtSMT},
 		{"ext-irrevocable", "Escalation-ladder cost when budgets never trip", planExtIrrevocable},
+		{"ext-lazy", "Eager vs deferred-update vs MVCC across the read-pct axis", planExtLazy},
 	}
 }
 
@@ -477,3 +478,93 @@ func planExtIrrevocable(o Options) *Plan {
 
 // ExtIrrevocable regenerates the ladder-cost ablation serially.
 func ExtIrrevocable(o Options) *Report { return runSerial(planExtIrrevocable(o)) }
+
+// telemCount reads one telemetry counter out of a run's merged totals.
+func telemCount(m RunMetrics, c telemetry.Counter) float64 {
+	if m.Telem == nil {
+		return 0
+	}
+	return float64(m.Telem.Totals().Counters[c.String()])
+}
+
+// planExtLazy compares version-management policies along the axis that
+// separates them: the read share of the mix. Eager stm pays an undo log and
+// in-place ownership on every store but validates cheaply; lazy pays a
+// write-buffer lookup on reads-after-writes and a commit-time lock/validate
+// protocol, but aborts privately; mvcc adds a commit clock and version
+// history so read-only transactions commit without validating at all. At
+// 100% reads the mvcc column must show zero aborts — the scheme's
+// never-abort guarantee, also asserted by the conformance tests.
+func planExtLazy(o Options) *Plan {
+	const cores = 4
+	readPcts := []int{50, 80, 90, 95, 100}
+	schemes := []string{SchemeSTM, SchemeLazy, SchemeMVCC}
+	var cols []string
+	for _, rp := range readPcts {
+		cols = append(cols, fmt.Sprintf("%d%%", rp))
+	}
+	p := newPlan("ext-lazy")
+	mk := func(scheme string, rp int) *Cell {
+		return p.cell(fmt.Sprintf("%s/hashtable/%dc/read%d", scheme, cores, rp), func() RunMetrics {
+			m, err := RunOne(scheme, WorkloadHash, cores, o, 100-rp)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		})
+	}
+	cells := make(map[string][]*Cell)
+	for _, scheme := range schemes {
+		for _, rp := range readPcts {
+			cells[scheme] = append(cells[scheme], mk(scheme, rp))
+		}
+	}
+	base := cells[SchemeSTM]
+	var rows []cellRow
+	for _, scheme := range []string{SchemeLazy, SchemeMVCC} {
+		rows = append(rows, cellRow{name: scheme, cells: cells[scheme]})
+	}
+	p.Assemble = func() *Report {
+		rep := &Report{
+			ID:    "ext-lazy",
+			Title: "Version management: eager vs deferred-update vs MVCC",
+			Notes: "hash table, 4 cores, read share sweeping 50-100%; relative to eager stm = 1.0. The abort table counts every cause; the mvcc row must reach 0 at 100% reads (snapshot read-only transactions never abort). The snapshot plane table shows where mvcc's reads were served and how its writer transitions resolved.",
+		}
+		rep.Tables = append(rep.Tables, ratioTable("hashtable read-pct sweep", "scheme \\ read %", "x of stm time",
+			cols, rows, func(j int) uint64 { return base[j].WallCycles() }))
+		abortTbl := Table{Name: "aborts, all causes", ColHeader: "scheme \\ read %", Cols: cols, Unit: "count"}
+		for _, scheme := range schemes {
+			row := Row{Name: scheme}
+			for j := range readPcts {
+				row.Cells = append(row.Cells, float64(cells[scheme][j].Metrics().Stats.TotalAborts()))
+			}
+			abortTbl.Rows = append(abortTbl.Rows, row)
+		}
+		rep.Tables = append(rep.Tables, abortTbl)
+		snapTbl := Table{
+			Name:      "mvcc snapshot plane",
+			ColHeader: "read %",
+			Cols:      []string{"snapshot reads", "history reads", "upgrades", "writer restarts", "snapshot aborts"},
+			Unit:      "count",
+		}
+		for j, rp := range readPcts {
+			m := cells[SchemeMVCC][j].Metrics()
+			snapTbl.Rows = append(snapTbl.Rows, Row{
+				Name: fmt.Sprintf("%d%%", rp),
+				Cells: []float64{
+					telemCount(m, telemetry.SnapshotReads),
+					telemCount(m, telemetry.VersionHistoryReads),
+					telemCount(m, telemetry.MVCCUpgrades),
+					telemCount(m, telemetry.MVCCWriterRestarts),
+					telemCount(m, telemetry.SnapshotAborts),
+				},
+			})
+		}
+		rep.Tables = append(rep.Tables, snapTbl)
+		return rep
+	}
+	return p
+}
+
+// ExtLazy regenerates the version-management sweep serially.
+func ExtLazy(o Options) *Report { return runSerial(planExtLazy(o)) }

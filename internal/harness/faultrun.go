@@ -59,10 +59,10 @@ func (r FaultReport) InjectedString() string {
 }
 
 // FaultSchemes returns the scheme matrix of the faultstorm suite: the
-// lock baseline plus every TM scheme (software, both HASTM modes,
-// hardware, hybrid).
+// lock baseline plus every TM scheme (software eager and deferred-update,
+// MVCC, both HASTM modes, hardware, hybrid).
 func FaultSchemes() []string {
-	return []string{SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious, SchemeHTM, SchemeHyTM}
+	return []string{SchemeLock, SchemeSTM, SchemeLazy, SchemeMVCC, SchemeHASTM, SchemeCautious, SchemeHTM, SchemeHyTM}
 }
 
 // FaultedRun executes one scheme/workload configuration with the fault

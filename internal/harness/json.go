@@ -36,7 +36,12 @@ import (
 // host ns on native), offered_rate and goodput (requests per million
 // cycles on sim / per second on native), offered/committed counts, and
 // the admission-control shed and serialized counts.
-const BenchSchema = "hastm-bench/6"
+// hastm-bench/7: the deferred-update scheme family lands ("lazy" and
+// "mvcc" scheme labels appear in cells, including the ext-lazy sweep and
+// service cells) and the telemetry block gains their counters
+// (write_buffer_hits, snapshot_reads, version_history_reads, mvcc_upgrades,
+// mvcc_writer_restarts, snapshot_aborts) and the write_buffer_hwm gauge.
+const BenchSchema = "hastm-bench/7"
 
 // SchedRecord is the host-side scheduler-efficiency block of a cell: how
 // many architectural ops the simulator granted and how many scheduler

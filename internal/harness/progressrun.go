@@ -27,6 +27,17 @@ func AdversarialWorkloads() []string { return []string{AdversarialStorm, Adversa
 // irrevocable).
 func AdversarialSchemes() []string { return []string{SchemeSTM, SchemeHASTM, SchemeHyTM} }
 
+// ProgressPlanSchemes returns the schemes the adversarial CLI sweep (and
+// its byte-identity gate) runs: AdversarialSchemes plus the deferred-update
+// family. Lazy and mvcc ride the same ladder when armed, but they are NOT
+// in AdversarialSchemes because the disarmed pathologies are weaker against
+// them by design — lazy holds locks only inside its finite commit section,
+// and an mvcc snapshot reader cannot be starved at all (the property
+// TestMVCCStarvationImmune pins down).
+func ProgressPlanSchemes() []string {
+	return append(AdversarialSchemes(), SchemeLazy, SchemeMVCC)
+}
+
 // Adversarial cell sizing. Fixed (not Options-scaled): the cells exist to
 // demonstrate pathologies, and the pathologies need a specific shape —
 // few highly contended lines and wide conflict windows.
@@ -196,7 +207,7 @@ func renderFault(f sim.CoreFault) string {
 	return b.String()
 }
 
-// ProgressPlan builds the adversarial sweep — every AdversarialSchemes
+// ProgressPlan builds the adversarial sweep — every ProgressPlanSchemes
 // scheme × the adversarial workloads (or just the one named by filter) —
 // as a Plan for the standard worker pool, with verdicts in the returned
 // slots in cell declaration order.
@@ -204,7 +215,7 @@ func ProgressPlan(base Options, cores int, ladder bool, filter string) (*Plan, [
 	o := AdversarialOptions(base, ladder)
 	p := newPlan("adversarial")
 	var reports []*ProgressReport
-	for _, scheme := range AdversarialSchemes() {
+	for _, scheme := range ProgressPlanSchemes() {
 		for _, workload := range AdversarialWorkloads() {
 			if filter != "" && workload != filter {
 				continue

@@ -7,6 +7,7 @@ import (
 	"hastm.dev/hastm/internal/cache"
 	"hastm.dev/hastm/internal/core"
 	"hastm.dev/hastm/internal/htm"
+	"hastm.dev/hastm/internal/lazystm"
 	"hastm.dev/hastm/internal/locksync"
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/sim"
@@ -133,6 +134,14 @@ const (
 	SchemeNaive    = "naive-aggressive"
 	SchemeHyTM     = "hytm"
 	SchemeHTM      = "htm"
+	// SchemeLazy is the deferred-update STM: per-transaction write buffer,
+	// commit-time ascending-order lock acquisition, sandboxed read-set
+	// validation before write-back (package lazystm).
+	SchemeLazy = "lazy"
+	// SchemeMVCC is the multi-version variant of SchemeLazy: a commit clock
+	// and per-location version history give read-only transactions an
+	// abort-free snapshot read path.
+	SchemeMVCC = "mvcc"
 )
 
 // SchemeIrrevocable is HASTM with the escalation ladder armed at a fixed
@@ -178,6 +187,10 @@ func buildScheme(name string, m *sim.Machine, threads int, o Options) tm.System 
 		return htm.NewHyTM(m, stmCfg, 4)
 	case SchemeHTM:
 		return htm.NewHTM(m)
+	case SchemeLazy:
+		return lazystm.New(m, stmCfg)
+	case SchemeMVCC:
+		return lazystm.NewMVCC(m, stmCfg)
 	default:
 		panic(fmt.Sprintf("harness: unknown scheme %q", name))
 	}
@@ -247,7 +260,7 @@ func validateConfig(scheme, workload string, cores int) error {
 		SchemeSeq, SchemeLock, SchemeSTM, SchemeHASTM, SchemeCautious,
 		SchemeNoReuse, SchemeNaive, SchemeHyTM, SchemeHTM,
 		SchemeWFilter, SchemeInterAtomic, SchemeObjHASTM, SchemeObjSTM, SchemeWatermark,
-		SchemeIrrevocable,
+		SchemeIrrevocable, SchemeLazy, SchemeMVCC,
 	} {
 		if scheme == s {
 			known = true

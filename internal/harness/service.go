@@ -123,12 +123,19 @@ func serviceRecord(cm *service.CellMetrics, rate func(count uint64) float64) *Se
 	}
 }
 
-// RunOneService runs one simulator service cell: populate the bank, run
-// the read-only warmup, then drive every core's open-loop arrival stream
-// under the STM scheme with the escalation ladder armed (the admission
-// controller's serialize action needs it). The committed-op log is
-// replayed through the sequential oracle before the metrics are returned.
+// RunOneService runs one simulator service cell under the default STM
+// scheme. See RunOneServiceScheme.
 func RunOneService(cores int, sc service.Config, o Options) (RunMetrics, error) {
+	return RunOneServiceScheme(SchemeSTM, cores, sc, o)
+}
+
+// RunOneServiceScheme runs one simulator service cell: populate the bank,
+// run the read-only warmup, then drive every core's open-loop arrival
+// stream under the named scheme with the escalation ladder armed (the
+// admission controller's serialize action needs it). The committed-op log
+// is replayed through the sequential oracle before the metrics are
+// returned.
+func RunOneServiceScheme(scheme string, cores int, sc service.Config, o Options) (RunMetrics, error) {
 	if cores < 1 {
 		return RunMetrics{}, fmt.Errorf("cores must be >= 1, got %d", cores)
 	}
@@ -147,7 +154,7 @@ func RunOneService(cores int, sc service.Config, o Options) (RunMetrics, error) 
 	if oArmed.RetryBudget == 0 {
 		oArmed.RetryBudget = IrrevocableDefaultBudget
 	}
-	sys := buildScheme(SchemeSTM, machine, cores, oArmed)
+	sys := buildScheme(scheme, machine, cores, oArmed)
 	bank := service.NewBank(machine.Mem, sc.Bank)
 	bank.Populate(machine.Mem, workloads.NewRand(sc.Seed))
 
@@ -337,6 +344,13 @@ var ServiceSkewS = []float64{0, 0.5, 0.9, 1.2, 1.5}
 // that key skew translates into real conflict pressure.
 const ServiceSkewGap uint64 = 1024
 
+// ServiceSchemes is the service figure's scheme-comparison axis: the eager
+// STM default against the deferred-update family, all at the skew sweep's
+// moderate-load operating point. Every scheme cell oracle-replays its
+// committed-op log, so this doubles as end-to-end service conformance for
+// the lazy and mvcc commit protocols.
+func ServiceSchemes() []string { return []string{SchemeSTM, SchemeLazy, SchemeMVCC} }
+
 // serviceTables assembles the two-table group (latency percentiles;
 // offered/goodput/shed counts) for one sweep.
 func serviceTables(name, colHeader, latUnit, rateUnit string, cols []string, cells []*Cell) []Table {
@@ -412,13 +426,26 @@ func ServicePlan(o Options) *Plan {
 			return m
 		}))
 	}
+	var schemeCells []*Cell
+	schemeCols := ServiceSchemes()
+	for _, scheme := range ServiceSchemes() {
+		scheme := scheme
+		schemeCells = append(schemeCells, p.cell(fmt.Sprintf("service/scheme/%s", scheme), func() RunMetrics {
+			m, err := RunOneServiceScheme(scheme, ServiceCores, ServiceConfig(o, ServiceCores, ServiceSkewGap, loadSkew, adm), o)
+			if err != nil {
+				panic(fmt.Sprintf("harness: %v", err))
+			}
+			return m
+		}))
+	}
 	p.Assemble = func() *Report {
 		tables := serviceTables("load", "mean gap (cycles)", "cycles", "req/Mcycle", loadCols, loadCells)
 		tables = append(tables, serviceTables("skew", "zipf s", "cycles", "req/Mcycle", skewCols, skewCells)...)
+		tables = append(tables, serviceTables("scheme", "scheme", "cycles", "req/Mcycle", schemeCols, schemeCells)...)
 		return &Report{
 			ID:     "service",
 			Title:  "Open-loop transactional service: latency vs load and key skew",
-			Notes:  "sojourn latency percentiles (queueing + execution) in simulated cycles; offered/goodput in requests per million cycles; shed/serialized are admission-control counts",
+			Notes:  "sojourn latency percentiles (queueing + execution) in simulated cycles; offered/goodput in requests per million cycles; shed/serialized are admission-control counts; the scheme tables compare eager stm against the deferred-update family at the moderate-load operating point",
 			Tables: tables,
 		}
 	}

@@ -1,0 +1,1111 @@
+package lazystm
+
+import (
+	"fmt"
+
+	"hastm.dev/hastm/internal/sim"
+	"hastm.dev/hastm/internal/stats"
+	"hastm.dev/hastm/internal/stm"
+	"hastm.dev/hastm/internal/telemetry"
+	"hastm.dev/hastm/internal/tm"
+)
+
+// wbEntry is one write-buffer entry: the buffered (address, value) pair,
+// the address's transaction record (precomputed so object-granularity
+// stores keep their header record), and the index of the previous buffered
+// write to the same address (-1 if none) — the chain savepoint rollback
+// walks to restore the latest-write index.
+type wbEntry struct {
+	Addr uint64
+	Val  uint64
+	Rec  uint64
+	Prev int
+}
+
+// savepoint marks a nested transaction's rollback point. Deferred updates
+// need no undo positions — only the log lengths and the snapshot-read flag.
+type savepoint struct {
+	reads      int
+	wb         int
+	histServed bool
+}
+
+// writerRestart is the MVCC control-flow signal thrown when a snapshot
+// attempt's first store finds the snapshot stale: the attempt restarts
+// pinned to writer mode. Like tm.RetrySignal it unwinds the body without
+// being an abort.
+type writerRestart struct{}
+
+// Thread is one core's deferred-update transactional thread. It implements
+// both tm.Thread and tm.Txn.
+type Thread struct {
+	sys *System
+	ctx *sim.Ctx
+
+	desc  uint64 // descriptor in simulated memory
+	tls   uint64 // simulated TLS slot holding the descriptor pointer
+	rdLog uint64 // log array base addresses in simulated memory
+	wbLog uint64
+
+	// Go-side mirrors of the simulated logs (identical contents; the
+	// simulated stores above charge the real cache/cycle costs).
+	reads []stm.RecEntry
+	wb    []wbEntry
+
+	wbIdx map[uint64]int // addr -> index of its latest wb entry
+
+	// Commit-protocol state: records acquired this commit in acquisition
+	// (ascending) order with their displaced versions, plus the rec->version
+	// map the sandboxed validation consults for self-owned records.
+	acq        []stm.RecEntry
+	acqVer     map[uint64]uint64
+	recScratch []uint64
+
+	watch []stm.RecEntry // retry wait-set accumulated across rollbacks
+	saves []savepoint
+
+	backoff            *tm.Backoff
+	readsSinceValidate int
+	txnSeq             uint64
+	inTxn              bool
+
+	fsm         tm.AttemptFSM
+	ladder      *tm.Backoff
+	irrevocable bool
+	irrevStart  uint64
+
+	serializeNext bool
+
+	// MVCC per-attempt state. snapshot is true while the attempt has not
+	// stored: reads validate against the begin-time snapTS instead of being
+	// revalidated at commit. histServed records that at least one read came
+	// from the version history (so the attempt can no longer upgrade in
+	// place — history values are not current memory). writerPinned persists
+	// across the remaining attempts of one top-level transaction after a
+	// writer restart, bounding restarts to one per transaction.
+	snapshot     bool
+	snapTS       uint64
+	histServed   bool
+	writerPinned bool
+}
+
+var (
+	_ tm.Thread = (*Thread)(nil)
+	_ tm.Txn    = (*Thread)(nil)
+)
+
+// Ctx returns the core context this thread runs on.
+func (t *Thread) Ctx() *sim.Ctx { return t.ctx }
+
+// ID returns the core id (the backend-neutral thread index).
+func (t *Thread) ID() int { return t.ctx.ID() }
+
+// Stamp returns the simulated clock, the serialization stamp of the most
+// recently completed atomic block on the cycle-ordered simulator.
+func (t *Thread) Stamp() uint64 { return t.ctx.Clock() }
+
+// Stats returns the per-core statistics record.
+func (t *Thread) Stats() *stats.Core {
+	return &t.ctx.Machine().Stats.Cores[t.ctx.ID()]
+}
+
+// Config returns the TM configuration.
+func (t *Thread) Config() tm.Config { return t.sys.cfg }
+
+// Attempt returns the current attempt number (0 = first execution).
+func (t *Thread) Attempt() int { return t.fsm.Attempt() }
+
+// TxnSeq returns the per-thread id of the current (or most recent)
+// top-level transaction; it stays stable across that transaction's retries.
+func (t *Thread) TxnSeq() uint64 { return t.txnSeq }
+
+// Desc returns the simulated address of the transaction descriptor.
+func (t *Thread) Desc() uint64 { return t.desc }
+
+// Snapshot reports whether the current attempt is still on the MVCC
+// snapshot read path (read-only so far).
+func (t *Thread) Snapshot() bool { return t.snapshot }
+
+// ReadSetSize returns the current number of read-set entries.
+func (t *Thread) ReadSetSize() int { return len(t.reads) }
+
+// WriteBufferSize returns the current number of write-buffer entries
+// (including superseded ones).
+func (t *Thread) WriteBufferSize() int { return len(t.wb) }
+
+func (t *Thread) requireTxn() {
+	if !t.inTxn {
+		panic("lazystm: transactional access outside an atomic block")
+	}
+}
+
+// --- Atomic engine ---------------------------------------------------------
+
+// Atomic runs body as a transaction. At top level it retries conflict
+// aborts until commit; inside a transaction it is a closed-nested
+// transaction with partial rollback.
+func (t *Thread) Atomic(body func(tm.Txn) error) error {
+	if t.inTxn {
+		return t.nestedAtomic(body)
+	}
+	t.fsm.BeginTxn()
+	if t.serializeNext {
+		t.serializeNext = false
+		t.fsm.ForceEscalate()
+	}
+	t.watch = t.watch[:0]
+	t.writerPinned = false
+	t.txnSeq++
+	for {
+		t.enterLadder()
+		t.begin()
+		err, sig := t.runBody(body)
+		switch s := sig.(type) {
+		case nil:
+			if err != nil {
+				// Body failure: terminal trace event, not an abort (abort
+				// counters and traced abort events stay in one-to-one
+				// correspondence, as in the eager engine).
+				t.ctx.TraceEvent("error", err.Error())
+				t.abandonAttempt(telemetry.EvError, stm.BodyErrorCause)
+				return err
+			}
+			committed, cause := t.commitTxn()
+			if committed {
+				t.finish(true)
+				return nil
+			}
+			t.afterAbort(cause)
+		case tm.UserAbortSignal:
+			t.abandonAttempt(telemetry.EvAbort, stats.AbortExplicit.String())
+			t.Stats().Aborts[stats.AbortExplicit]++
+			return tm.ErrUserAbort
+		case tm.RetrySignal:
+			t.ctx.TraceEvent("retry", fmt.Sprintf("watching %d records", len(t.watch)+len(t.reads)))
+			// The wait set must capture the read set before the rollback
+			// truncates it.
+			t.watchReadsFrom(0)
+			served := t.histServed
+			t.abandonAttempt(telemetry.EvRetry, "")
+			t.Stats().Retries++
+			if !served {
+				// A history-served read means a watched location already
+				// changed since the snapshot: waiting for a change that has
+				// happened would deadlock, so take the (permitted) spurious
+				// wakeup instead.
+				t.waitForChange()
+			}
+			t.fsm.OnRetryWait()
+		case writerRestart:
+			// The snapshot went stale before the attempt's first store: the
+			// reads cannot carry over into writer mode, so the attempt
+			// restarts pinned to the lazy protocol. A strategy switch, not a
+			// conflict loss — the attempt index advances but no strike is
+			// charged and no abort is counted.
+			t.ctx.TraceEvent("writer-restart", "snapshot stale at first store")
+			t.abandonAttempt(telemetry.EvWriterRestart, "snapshot-stale")
+			t.ctx.Telem().Inc(telemetry.MVCCWriterRestarts)
+			t.writerPinned = true
+			t.fsm.OnRetryWait()
+		case tm.AbortSignal:
+			t.afterAbort(s.Cause)
+		}
+	}
+}
+
+// AtomicSerialized runs body as a transaction that escalates to serial
+// irrevocable mode on its first attempt (admission control's "serialize"
+// action). Without a configured ladder it degrades to a plain Atomic.
+func (t *Thread) AtomicSerialized(body func(tm.Txn) error) error {
+	if !t.inTxn {
+		t.serializeNext = true
+	}
+	return t.Atomic(body)
+}
+
+// finish closes out a transaction after commit.
+func (t *Thread) finish(committed bool) {
+	t.exitLadder()
+	if committed {
+		t.backoff.Reset()
+	}
+	t.inTxn = false
+}
+
+// enterLadder and exitLadder are the escalation-ladder handshake, identical
+// in shape to the eager engine's: revocable attempts announce themselves
+// and wait out an irrevocable owner; past the retry budget the attempt
+// acquires the global token and runs serially with no abort path.
+func (t *Thread) enterLadder() {
+	tok := t.sys.cfg.Progress.Token
+	if tok == nil {
+		return
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Lock)
+	if t.fsm.ShouldEscalate() {
+		ctx.TraceEvent("escalate", "retry budget exhausted")
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
+			Kind: telemetry.EvEscalate, Cause: "retry-budget"})
+		ctx.Telem().Inc(telemetry.Escalations)
+		tok.Acquire(ctx, t.ladder)
+		t.irrevocable = true
+		t.irrevStart = ctx.Clock()
+		ctx.Telem().Inc(telemetry.IrrevocableEntries)
+	} else {
+		tok.EnterShared(ctx, t.ladder)
+	}
+	ctx.SetCat(prev)
+	t.ladder.Reset()
+}
+
+func (t *Thread) exitLadder() {
+	tok := t.sys.cfg.Progress.Token
+	if tok == nil {
+		return
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Lock)
+	if t.irrevocable {
+		ctx.Telem().Add(telemetry.IrrevocableCyclesHeld, ctx.Clock()-t.irrevStart)
+		tok.Release(ctx)
+		t.irrevocable = false
+	} else {
+		tok.ExitShared(ctx)
+	}
+	ctx.SetCat(prev)
+}
+
+// Irrevocable reports whether the current attempt holds the irrevocable
+// token.
+func (t *Thread) Irrevocable() bool { return t.irrevocable }
+
+// observeSetSizes raises the log-pressure high-water marks to the current
+// set sizes; called at transaction end points. Deferred updates have no
+// undo log; the write buffer has its own gauge.
+func (t *Thread) observeSetSizes() {
+	b := t.ctx.Telem()
+	b.ObserveMax(telemetry.ReadSetHWM, uint64(len(t.reads)))
+	b.ObserveMax(telemetry.WriteBufferHWM, uint64(len(t.wb)))
+}
+
+// abandonAttempt is the single exit path for every non-committing end of a
+// top-level attempt: conflict abort, explicit abort, retry-wait, writer
+// restart, body error. Every exit records the attempt's footprint and
+// emits a terminal trace event, so begins always pair with terminals.
+func (t *Thread) abandonAttempt(kind, cause string) {
+	t.observeSetSizes()
+	t.ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
+		Kind: kind, Cause: cause,
+		Reads: len(t.reads), Writes: len(t.wb)})
+	t.rollbackAll()
+	t.exitLadder()
+	t.inTxn = false
+}
+
+// afterAbort rolls back and prepares the next attempt.
+func (t *Thread) afterAbort(cause stats.AbortCause) {
+	t.ctx.TraceEvent("abort", cause.String())
+	if t.snapshot {
+		// An abort of a still-read-only MVCC attempt: the only possible
+		// cause is a version-history prune miss. Counted so tests can
+		// assert the read-only never-abort guarantee as "this stays zero".
+		t.ctx.Telem().Inc(telemetry.SnapshotAborts)
+	}
+	t.abandonAttempt(telemetry.EvAbort, cause.String())
+	t.Stats().Aborts[cause]++
+	t.fsm.OnAbort()
+	if cause.IsConflict() {
+		t.backoff.Wait(t.ctx)
+	}
+}
+
+// runBody executes the user body, converting engine panics into signals.
+// A foreign panic is re-raised unless the read set no longer validates, in
+// which case the body was a zombie executing on inconsistent data and the
+// panic is converted into a conflict abort.
+func (t *Thread) runBody(body func(tm.Txn) error) (err error, sig interface{}) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if tm.IsEngineSignal(r) {
+			sig = r
+			return
+		}
+		if _, ok := r.(writerRestart); ok {
+			sig = r
+			return
+		}
+		if sim.IsStop(r) {
+			panic(r)
+		}
+		if !t.readsConsistent() {
+			sig = tm.AbortSignal{Cause: stats.AbortValidation}
+			return
+		}
+		panic(r)
+	}()
+	err = body(t)
+	return err, nil
+}
+
+// readsConsistent re-checks the read set directly against memory at zero
+// simulated cost; used only to classify foreign panics as zombie effects.
+// Snapshot-mode reads are consistent by construction (each was served from
+// a single committed snapshot), so a snapshot attempt's panic is always
+// genuinely foreign. The body never holds records, so a changed version is
+// never self-inflicted.
+func (t *Thread) readsConsistent() bool {
+	if t.snapshot {
+		return true
+	}
+	m := t.ctx.Machine().Mem
+	for _, e := range t.reads {
+		if m.Load(e.Rec) != e.Ver {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Thread) begin() {
+	t.inTxn = true
+	t.reads = t.reads[:0]
+	t.wb = t.wb[:0]
+	clear(t.wbIdx)
+	t.acq = t.acq[:0]
+	clear(t.acqVer)
+	t.saves = t.saves[:0]
+	t.readsSinceValidate = 0
+	t.histServed = false
+	t.snapshot = t.sys.mvcc && !t.writerPinned
+
+	ctx := t.ctx
+	ctx.TraceEvent("begin", fmt.Sprintf("attempt=%d", t.fsm.Attempt()))
+	ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(), Kind: telemetry.EvBegin})
+	prev := ctx.SetCat(stats.TLS)
+	ctx.Load(t.tls) // gettxndesc
+	ctx.SetCat(stats.Commit)
+	ctx.Exec(4) // descriptor setup
+	ctx.Store(t.desc+descRdLog, t.rdLog)
+	ctx.Store(t.desc+descWbLog, t.wbLog)
+	if t.snapshot {
+		// One clock load fixes the attempt's snapshot timestamp.
+		t.snapTS = ctx.Load(t.sys.clock)
+		ctx.Exec(1)
+	}
+	ctx.SetCat(prev)
+
+	if t.irrevocable {
+		ctx.TraceEvent("irrevocable", "serial attempt, no abort path")
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(), Kind: telemetry.EvIrrevocable})
+		ctx.SetStatus("irrevocable", t.fsm.Attempt())
+	} else {
+		ctx.SetStatus(t.sys.name, t.fsm.Attempt())
+	}
+}
+
+// --- Commit protocol --------------------------------------------------------
+
+func (t *Thread) commitTxn() (bool, stats.AbortCause) {
+	ctx := t.ctx
+	if t.snapshot {
+		// MVCC read-only commit: every read was served from one committed
+		// snapshot, so the attempt is already serialized at its begin-time
+		// timestamp. No validation, no clock traffic, no abort path.
+		prev := ctx.SetCat(stats.Commit)
+		ctx.Exec(8) // commit bookkeeping
+		t.Stats().Commits++
+		ctx.NoteCommit()
+		ctx.TraceEvent("commit", fmt.Sprintf("read-only snapshot reads=%d", len(t.reads)))
+		t.observeSetSizes()
+		ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.fsm.Attempt()))
+		ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
+			Kind: telemetry.EvCommit, Reads: len(t.reads)})
+		ctx.SetCat(prev)
+		return true, 0
+	}
+
+	// Phase 1: acquire every written record, ascending.
+	prev := ctx.SetCat(stats.WrBar)
+	if !t.acquireWriteRecs() {
+		t.releaseAcquired(false)
+		ctx.SetCat(prev)
+		return false, stats.AbortLockConflict
+	}
+	ctx.Telem().ObserveMax(telemetry.WriteSetHWM, uint64(len(t.acq)))
+
+	// Phase 2: sandboxed validation, before any data word changes.
+	ctx.SetCat(stats.Validate)
+	if !t.validate(true) {
+		t.releaseAcquired(false)
+		ctx.SetCat(prev)
+		return false, stats.AbortValidation
+	}
+
+	// Phase 3: write back and release.
+	ctx.SetCat(stats.Commit)
+	var wv uint64
+	if t.sys.mvcc && len(t.wb) > 0 {
+		wv = t.advanceClock()
+	}
+	t.writeBack(wv)
+	t.releaseAcquired(true)
+	ctx.Exec(8) // commit bookkeeping
+	t.Stats().Commits++
+	ctx.NoteCommit()
+	ctx.TraceEvent("commit", fmt.Sprintf("reads=%d buffered=%d recs=%d",
+		len(t.reads), len(t.wb), len(t.acqVer)))
+	t.observeSetSizes()
+	ctx.Telem().ObserveMax(telemetry.RetryDepthHWM, uint64(t.fsm.Attempt()))
+	ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
+		Kind:  telemetry.EvCommit,
+		Reads: len(t.reads), Writes: len(t.wb)})
+	ctx.SetCat(prev)
+	return true, 0
+}
+
+// acquireWriteRecs CASes every buffered address's record from shared to
+// self-owned, in ascending record order (two committers can never deadlock
+// on each other's records). A record that stays foreign-owned past the
+// contention policy's bound fails the acquisition; the caller releases
+// whatever was acquired.
+func (t *Thread) acquireWriteRecs() bool {
+	ctx := t.ctx
+	t.recScratch = t.recScratch[:0]
+	for _, e := range t.wb {
+		t.recScratch = append(t.recScratch, e.Rec)
+	}
+	sortU64(t.recScratch)
+	// The commit-time sort of the write set is real work: charge it
+	// proportionally to the buffer it sorts.
+	ctx.Exec(uint64(2 * len(t.wb)))
+	var last uint64
+	for i, rec := range t.recScratch {
+		if i > 0 && rec == last {
+			continue
+		}
+		last = rec
+		if !t.acquireRec(rec) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Thread) acquireRec(rec uint64) bool {
+	ctx := t.ctx
+	v := ctx.Load(rec)
+	ctx.Exec(2) // test versionmask + jz
+	for {
+		if !stm.IsVersion(v) {
+			var ok bool
+			v, ok = t.waitShared(rec)
+			if !ok {
+				return false
+			}
+		}
+		ok, cur := ctx.CAS(rec, v, t.desc)
+		if ok {
+			break
+		}
+		ctx.Exec(1)
+		v = cur
+	}
+	t.acq = append(t.acq, stm.RecEntry{Rec: rec, Ver: v})
+	t.acqVer[rec] = v
+	return true
+}
+
+// waitShared is the contention policy's bounded wait for a foreign-owned
+// record, shaped like the eager engine's handleContention but returning
+// failure instead of panicking: a failed commit-time acquisition must first
+// release the records it already holds (restoring their original
+// versions), which a panic would skip.
+func (t *Thread) waitShared(rec uint64) (uint64, bool) {
+	var limit int
+	switch t.sys.cfg.Policy {
+	case tm.AbortSelf:
+		limit = 0
+	case tm.PoliteBackoff:
+		limit = 16
+	case tm.Wait:
+		limit = 256
+	}
+	ctx := t.ctx
+	wait := tm.NewBackoff(ctx.ID())
+	for spin := 0; spin < limit; spin++ {
+		wait.Wait(ctx)
+		v := ctx.Load(rec)
+		ctx.Exec(2)
+		if stm.IsVersion(v) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// validate checks the read set: every logged record must still hold its
+// logged version, or be owned by this commit having displaced exactly that
+// version. During the body acqVer is empty, so the self-owned arm never
+// fires — the body holds no records.
+func (t *Thread) validate(atCommit bool) bool {
+	t.Stats().FullValidations++
+	ctx := t.ctx
+	if atCommit {
+		ctx.TraceEvent("validate", fmt.Sprintf("commit sandbox (%d reads)", len(t.reads)))
+	} else {
+		ctx.TraceEvent("validate", fmt.Sprintf("full (%d reads)", len(t.reads)))
+	}
+	ctx.Exec(2) // loop setup
+	for _, e := range t.reads {
+		cur := ctx.Load(e.Rec)
+		ctx.Exec(2) // compare + branch
+		if cur == e.Ver {
+			continue
+		}
+		if cur == t.desc {
+			ctx.Exec(2)
+			if t.acqVer[e.Rec] == e.Ver {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// periodicValidate bounds zombie execution on the lazy read path: every
+// ValidateEvery read barriers the read set is re-validated. Snapshot reads
+// are consistent by construction and never come here.
+func (t *Thread) periodicValidate() {
+	every := t.sys.cfg.ValidateEvery
+	if every <= 0 {
+		return
+	}
+	t.readsSinceValidate++
+	if t.readsSinceValidate < every {
+		return
+	}
+	t.readsSinceValidate = 0
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Validate)
+	ok := t.validate(false)
+	ctx.SetCat(prev)
+	if !ok {
+		panic(tm.AbortSignal{Cause: stats.AbortValidation})
+	}
+}
+
+// advanceClock CAS-increments the global commit clock, returning this
+// commit's timestamp.
+func (t *Thread) advanceClock() uint64 {
+	ctx := t.ctx
+	for {
+		s := ctx.Load(t.sys.clock)
+		if ok, _ := ctx.CAS(t.sys.clock, s, s+1); ok {
+			return s + 1
+		}
+		ctx.Exec(1)
+	}
+}
+
+// writeBack publishes the buffered values: the latest value per address, in
+// the buffer's append order (NEVER the Go map's iteration order — the
+// write-back sequence must be deterministic). Under MVCC each address's
+// displaced value and timestamp go into the version history inside an
+// architectural step BEFORE the data store, so a concurrent snapshot read
+// that sees the new value is guaranteed to also see the new timestamp.
+func (t *Thread) writeBack(wv uint64) {
+	ctx := t.ctx
+	sys := t.sys
+	for i, e := range t.wb {
+		if t.wbIdx[e.Addr] != i {
+			continue // superseded by a later buffered write
+		}
+		ctx.Load(t.wbLog + uint64(i)*entryBytes)     // entry addr word
+		ctx.Load(t.wbLog + uint64(i)*entryBytes + 8) // entry value word
+		if sys.mvcc {
+			addr := e.Addr
+			ctx.Step(func(m *sim.Machine) uint64 {
+				old := m.Mem.Load(addr)
+				h := append(sys.hist[addr], histVersion{ts: sys.lastTS[addr], val: old})
+				if len(h) > histDepth {
+					h = h[len(h)-histDepth:]
+				}
+				sys.hist[addr] = h
+				sys.lastTS[addr] = wv
+				return 2
+			})
+		}
+		ctx.Store(e.Addr, e.Val)
+		ctx.Exec(1)
+	}
+}
+
+// releaseAcquired returns every record acquired by this commit to the
+// shared state, newest first. A committed release publishes the next
+// version; a failed commit restores the ORIGINAL displaced version — no
+// data changed under the record, so readers that validated against it stay
+// valid, and nobody can have logged the record while it was owned.
+func (t *Thread) releaseAcquired(committed bool) {
+	ctx := t.ctx
+	for i := len(t.acq) - 1; i >= 0; i-- {
+		e := t.acq[i]
+		if committed {
+			ctx.Store(e.Rec, stm.NextVersion(e.Ver))
+		} else {
+			ctx.Store(e.Rec, e.Ver)
+		}
+		ctx.Exec(2)
+	}
+	t.acq = t.acq[:0]
+	clear(t.acqVer)
+}
+
+// rollbackAll abandons the attempt's private state. Nothing reached shared
+// memory (any commit-time acquisitions were already released by the failed
+// commit itself), so rollback is pure log truncation.
+func (t *Thread) rollbackAll() {
+	t.reads = t.reads[:0]
+	t.wb = t.wb[:0]
+	clear(t.wbIdx)
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Commit)
+	ctx.Exec(8) // abort bookkeeping
+	ctx.SetCat(prev)
+}
+
+// watchReadsFrom appends read-set entries at index >= n to the retry watch
+// set.
+func (t *Thread) watchReadsFrom(n int) {
+	t.watch = append(t.watch, t.reads[n:]...)
+}
+
+// waitForChange blocks (in simulated time) until some watched record's
+// version changes; an empty watch set or a long wait returns anyway (a
+// spurious wakeup, which retry semantics permit).
+func (t *Thread) waitForChange() {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Validate)
+	defer ctx.SetCat(prev)
+	if len(t.watch) == 0 {
+		t.backoff.Wait(ctx)
+		return
+	}
+	for poll := 0; poll < 1000; poll++ {
+		for _, e := range t.watch {
+			cur := ctx.Load(e.Rec)
+			ctx.Exec(2)
+			if cur != e.Ver {
+				return
+			}
+		}
+		t.backoff.Wait(ctx)
+	}
+}
+
+// --- Nesting, retry, orElse ------------------------------------------------
+
+func (t *Thread) nestedAtomic(body func(tm.Txn) error) error {
+	sp := t.savepointNow()
+	t.saves = append(t.saves, sp)
+	t.ctx.Exec(4) // nested begin
+	err, sig := t.runBody(body)
+	t.saves = t.saves[:len(t.saves)-1]
+	switch sig.(type) {
+	case nil:
+		if err != nil {
+			t.rollbackToSavepoint(sp)
+			return err
+		}
+		t.ctx.Exec(2) // nested commit merges into the parent
+		return nil
+	case tm.RetrySignal:
+		t.watchReadsFrom(sp.reads)
+		t.rollbackToSavepoint(sp)
+		panic(tm.RetrySignal{})
+	default:
+		panic(sig) // conflict/user aborts and writer restarts unwind fully
+	}
+}
+
+// OrElse implements composable blocking: alternatives run as nested
+// transactions; one that calls Retry is rolled back and the next is tried;
+// if all retry, the retry propagates with the union of their read sets as
+// the wait set.
+func (t *Thread) OrElse(alternatives ...func(tm.Txn) error) error {
+	if !t.inTxn {
+		return t.Atomic(func(tx tm.Txn) error { return tx.OrElse(alternatives...) })
+	}
+	for _, alt := range alternatives {
+		sp := t.savepointNow()
+		t.saves = append(t.saves, sp)
+		t.ctx.Exec(4)
+		err, sig := t.runBody(alt)
+		t.saves = t.saves[:len(t.saves)-1]
+		switch sig.(type) {
+		case nil:
+			if err != nil {
+				t.rollbackToSavepoint(sp)
+				return err
+			}
+			t.ctx.Exec(2)
+			return nil
+		case tm.RetrySignal:
+			t.watchReadsFrom(sp.reads)
+			t.rollbackToSavepoint(sp)
+			continue
+		default:
+			panic(sig)
+		}
+	}
+	panic(tm.RetrySignal{})
+}
+
+func (t *Thread) savepointNow() savepoint {
+	return savepoint{reads: len(t.reads), wb: len(t.wb), histServed: t.histServed}
+}
+
+// rollbackToSavepoint reverts the logs to a nested transaction's entry
+// point. The write buffer unwinds newest-first, restoring each address's
+// latest-write index via the Prev chain. An in-place snapshot->writer
+// upgrade that happened inside the nested block is deliberately NOT
+// reverted: staying in writer mode is always correct (it validates at
+// commit), merely less optimistic.
+func (t *Thread) rollbackToSavepoint(sp savepoint) {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Commit)
+	for i := len(t.wb) - 1; i >= sp.wb; i-- {
+		e := t.wb[i]
+		ctx.Load(t.wbLog + uint64(i)*entryBytes)
+		ctx.Exec(2)
+		if e.Prev >= 0 {
+			t.wbIdx[e.Addr] = e.Prev
+		} else {
+			delete(t.wbIdx, e.Addr)
+		}
+	}
+	t.wb = t.wb[:sp.wb]
+	t.reads = t.reads[:sp.reads]
+	t.histServed = sp.histServed
+	ctx.SetCat(prev)
+}
+
+// Exec charges application compute to the simulated clock.
+func (t *Thread) Exec(n uint64) { t.ctx.Exec(n) }
+
+// Alloc reserves memory for a new object; aborts leak it (GC semantics).
+func (t *Thread) Alloc(size, align uint64) uint64 { return t.ctx.Alloc(size, align) }
+
+// StoreInit initialises not-yet-published memory without barriers.
+func (t *Thread) StoreInit(addr, val uint64) { t.ctx.Store(addr, val) }
+
+// Retry aborts the innermost alternative and blocks re-execution until a
+// previously read location may have changed.
+func (t *Thread) Retry() {
+	t.requireTxn()
+	if t.irrevocable {
+		panic("lazystm: Retry inside an irrevocable transaction")
+	}
+	panic(tm.RetrySignal{})
+}
+
+// Abort abandons the transaction; the enclosing Atomic returns
+// tm.ErrUserAbort.
+func (t *Thread) Abort() {
+	t.requireTxn()
+	if t.irrevocable {
+		panic("lazystm: Abort inside an irrevocable transaction")
+	}
+	panic(tm.UserAbortSignal{})
+}
+
+// AbortConflictForTest forces a conflict-style abort (failure injection in
+// tests).
+func (t *Thread) AbortConflictForTest() {
+	t.requireTxn()
+	panic(tm.AbortSignal{Cause: stats.AbortValidation})
+}
+
+// --- Barriers ---------------------------------------------------------------
+
+// chargeAddrCompute charges the record-address computation to the given
+// category.
+func (t *Thread) chargeAddrCompute(cat stats.Category) {
+	prev := t.ctx.SetCat(cat)
+	t.ctx.Exec(3)
+	t.ctx.SetCat(prev)
+}
+
+func (t *Thread) appLoad(addr uint64) uint64 {
+	prev := t.ctx.SetCat(stats.App)
+	v := t.ctx.Load(addr)
+	t.ctx.SetCat(prev)
+	return v
+}
+
+// Load transactionally reads the word at addr (line-granularity record).
+func (t *Thread) Load(addr uint64) uint64 {
+	t.requireTxn()
+	if v, ok := t.bufferLookup(addr); ok {
+		return v
+	}
+	t.chargeAddrCompute(stats.RdBar)
+	rec := t.sys.table.RecordFor(addr)
+	return t.loadShared(rec, addr)
+}
+
+// LoadObj transactionally reads the field at offset off of the object
+// whose header record is at base; under line granularity it degenerates to
+// a plain transactional load.
+func (t *Thread) LoadObj(base, off uint64) uint64 {
+	t.requireTxn()
+	if t.sys.cfg.Granularity != tm.ObjectGranularity {
+		return t.Load(base + off)
+	}
+	if off < 8 {
+		panic(fmt.Sprintf("lazystm: LoadObj offset %d overlaps the header", off))
+	}
+	if v, ok := t.bufferLookup(base + off); ok {
+		return v
+	}
+	return t.loadShared(base, base+off)
+}
+
+// bufferLookup is the read-through-own-writes fast path: a load whose
+// address has a buffered store returns the latest buffered value without
+// touching the record.
+func (t *Thread) bufferLookup(addr uint64) (uint64, bool) {
+	prev := t.ctx.SetCat(stats.RdBar)
+	t.ctx.Exec(2) // buffer-index hash + branch
+	i, ok := t.wbIdx[addr]
+	if !ok {
+		t.ctx.SetCat(prev)
+		return 0, false
+	}
+	v := t.ctx.Load(t.wbLog + uint64(i)*entryBytes + 8)
+	t.ctx.SetCat(prev)
+	t.ctx.Telem().Inc(telemetry.WriteBufferHits)
+	return v, true
+}
+
+// loadShared is the shared-memory read barrier: snapshot-validated under
+// MVCC snapshot mode, logged for commit-time revalidation otherwise.
+func (t *Thread) loadShared(rec, addr uint64) uint64 {
+	if t.snapshot {
+		return t.snapshotLoad(rec, addr)
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.RdBar)
+	v := ctx.Load(rec)
+	ctx.Exec(2) // test versionmask + jz
+	if !stm.IsVersion(v) {
+		v = t.handleContention(rec)
+	}
+	t.Stats().UnfilteredReads++
+	t.logRead(rec, v)
+	t.periodicValidate()
+	ctx.SetCat(prev)
+	return t.appLoad(addr)
+}
+
+// snapshotLoad is the MVCC snapshot read barrier. It never aborts on
+// contention: a locked record means a writer is inside its finite commit
+// section, so the reader waits it out (writers never wait on readers, so
+// the wait cannot deadlock). The loaded value is then checked against the
+// location's last-writer timestamp: within the snapshot it is accepted
+// (and logged, keeping an in-place upgrade possible); past the snapshot
+// the read is served from the version history instead.
+func (t *Thread) snapshotLoad(rec, addr uint64) uint64 {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.RdBar)
+	v := ctx.Load(rec)
+	ctx.Exec(2)
+	if !stm.IsVersion(v) {
+		wait := tm.NewBackoff(ctx.ID())
+		for !stm.IsVersion(v) {
+			wait.Wait(ctx)
+			v = ctx.Load(rec)
+			ctx.Exec(2)
+		}
+	}
+	ctx.SetCat(prev)
+	val := t.appLoad(addr)
+
+	sys := t.sys
+	snapTS := t.snapTS
+	served, miss := false, false
+	vprev := ctx.SetCat(stats.Validate)
+	ctx.Step(func(m *sim.Machine) uint64 {
+		ts := sys.lastTS[addr]
+		if ts <= snapTS {
+			return 4
+		}
+		h := sys.hist[addr]
+		for i := len(h) - 1; i >= 0; i-- {
+			if h[i].ts <= snapTS {
+				val = h[i].val
+				served = true
+				return uint64(4 + 2*(len(h)-i))
+			}
+		}
+		miss = true
+		return uint64(4 + 2*len(h))
+	})
+	ctx.SetCat(vprev)
+
+	b := ctx.Telem()
+	b.Inc(telemetry.SnapshotReads)
+	if miss {
+		// The version this snapshot needs was pruned from the history: the
+		// one abort a snapshot attempt can take.
+		panic(tm.AbortSignal{Cause: stats.AbortValidation})
+	}
+	if served {
+		b.Inc(telemetry.VersionHistoryReads)
+		t.histServed = true
+		return val
+	}
+	t.Stats().UnfilteredReads++
+	t.logRead(rec, v)
+	return val
+}
+
+func (t *Thread) logRead(rec, ver uint64) {
+	if len(t.reads) >= logCap {
+		panic("lazystm: read-set log overflow; raise logCap or shorten the transaction")
+	}
+	ctx := t.ctx
+	logPtr := ctx.Load(t.desc + descRdLog)
+	ctx.Exec(3) // overflow test, branch, pointer add
+	ctx.Store(t.desc+descRdLog, logPtr+entryBytes)
+	ctx.Store(logPtr, rec)
+	ctx.Store(logPtr+8, ver)
+	t.reads = append(t.reads, stm.RecEntry{Rec: rec, Ver: ver})
+	t.Stats().ReadsLogged++
+}
+
+// Store transactionally writes the word at addr (deferred: buffered until
+// commit).
+func (t *Thread) Store(addr, val uint64) {
+	t.requireTxn()
+	t.chargeAddrCompute(stats.WrBar)
+	rec := t.sys.table.RecordFor(addr)
+	t.bufferWrite(rec, addr, val)
+}
+
+// StoreObj transactionally writes a field of the object at base.
+func (t *Thread) StoreObj(base, off, val uint64) {
+	t.requireTxn()
+	if t.sys.cfg.Granularity != tm.ObjectGranularity {
+		t.Store(base+off, val)
+		return
+	}
+	if off < 8 {
+		panic(fmt.Sprintf("lazystm: StoreObj offset %d overlaps the header", off))
+	}
+	t.bufferWrite(base, base+off, val)
+}
+
+// bufferWrite appends a deferred store to the write buffer. The first
+// store of an MVCC snapshot attempt first upgrades the attempt to writer
+// mode (or restarts it). No record is touched here — acquisition is
+// commit-time work.
+func (t *Thread) bufferWrite(rec, addr, val uint64) {
+	if t.snapshot {
+		t.upgradeToWriter()
+	}
+	if len(t.wb) >= logCap {
+		panic("lazystm: write-buffer overflow; raise logCap or shorten the transaction")
+	}
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.WrBar)
+	logPtr := ctx.Load(t.desc + descWbLog)
+	ctx.Exec(3)
+	ctx.Store(t.desc+descWbLog, logPtr+entryBytes)
+	ctx.Store(logPtr, addr)
+	ctx.Store(logPtr+8, val)
+	prevIdx := -1
+	if i, ok := t.wbIdx[addr]; ok {
+		prevIdx = i
+	}
+	t.wb = append(t.wb, wbEntry{Addr: addr, Val: val, Rec: rec, Prev: prevIdx})
+	t.wbIdx[addr] = len(t.wb) - 1
+	ctx.SetCat(prev)
+}
+
+// upgradeToWriter converts a snapshot attempt into a lazy writer at its
+// first store. The upgrade is valid only when the snapshot is provably
+// still current: no read came from the version history, and every logged
+// read record still holds its logged version — then the snapshot IS the
+// present, and the logged reads carry over as an ordinary lazy read set.
+// Otherwise the attempt restarts pinned to writer mode.
+func (t *Thread) upgradeToWriter() {
+	ctx := t.ctx
+	prev := ctx.SetCat(stats.Validate)
+	ok := !t.histServed
+	if ok {
+		ctx.Exec(2)
+		for _, e := range t.reads {
+			cur := ctx.Load(e.Rec)
+			ctx.Exec(2)
+			if cur != e.Ver {
+				ok = false
+				break
+			}
+		}
+	}
+	ctx.SetCat(prev)
+	if !ok {
+		panic(writerRestart{})
+	}
+	t.snapshot = false
+	ctx.Telem().Inc(telemetry.MVCCUpgrades)
+	ctx.TraceEvent("upgrade", fmt.Sprintf("snapshot -> writer (%d reads revalidated)", len(t.reads)))
+	ctx.EmitTxn(telemetry.TxnEvent{Txn: t.txnSeq, Retry: t.fsm.Attempt(),
+		Kind: telemetry.EvUpgrade, Reads: len(t.reads)})
+}
+
+// handleContention resolves a foreign-owned record met by a lazy-mode read
+// per the configured policy, returning the version once shared again or
+// aborting (by panic). Identical bounds to the eager engine's.
+func (t *Thread) handleContention(rec uint64) uint64 {
+	var limit int
+	switch t.sys.cfg.Policy {
+	case tm.AbortSelf:
+		limit = 0
+	case tm.PoliteBackoff:
+		limit = 16
+	case tm.Wait:
+		limit = 256
+	}
+	ctx := t.ctx
+	wait := tm.NewBackoff(ctx.ID())
+	for spin := 0; spin < limit; spin++ {
+		wait.Wait(ctx)
+		v := ctx.Load(rec)
+		ctx.Exec(2)
+		if stm.IsVersion(v) {
+			return v
+		}
+	}
+	panic(tm.AbortSignal{Cause: stats.AbortLockConflict})
+}
+
+// sortU64 is an allocation-free insertion sort for the commit-time record
+// slice; write sets are tens of entries and mostly pre-sorted (allocation
+// order), where insertion sort is near-linear.
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

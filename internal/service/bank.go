@@ -53,6 +53,12 @@ func NewBank(m *mem.Memory, cfg BankConfig) *Bank {
 	if cfg.Keys == 0 {
 		panic("service: bank with zero accounts")
 	}
+	if cfg.TransferPct > 0 && cfg.Keys < 2 {
+		// A transfer needs a distinct counterparty: decode draws it with
+		// Intn(Keys-1), which is Intn(0) — a division by zero — when only
+		// one account exists. Reject the configuration up front.
+		panic(fmt.Sprintf("service: %d account(s) cannot host transfers (TransferPct=%d); need Keys >= 2", cfg.Keys, cfg.TransferPct))
+	}
 	if cfg.Slots <= cfg.Keys {
 		panic(fmt.Sprintf("service: %d slots cannot hold %d accounts with headroom", cfg.Slots, cfg.Keys))
 	}

@@ -1,6 +1,9 @@
 package service
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Histogram is a fixed-boundary latency histogram: 8 exact buckets for
 // values 0–7, then 8 log-spaced sub-buckets per power of two up to the
@@ -69,16 +72,7 @@ func (h *Histogram) Percentile(q float64) uint64 {
 	if h.total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.total))
-	if float64(rank) < q*float64(h.total) {
-		rank++
-	}
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > h.total {
-		rank = h.total
-	}
+	rank := percentileRank(q, h.total)
 	var cum uint64
 	for i := range h.counts {
 		cum += h.counts[i]
@@ -87,4 +81,53 @@ func (h *Histogram) Percentile(q float64) uint64 {
 		}
 	}
 	return BucketUpper(NumBuckets - 1) // unreachable: cum reaches total
+}
+
+// percentileRank returns ceil(q·total) clamped to [1, total], computed
+// exactly in integer arithmetic. The float path this replaces — truncate
+// q·float64(total), then compare the truncation against the product to
+// decide the ceiling bump — goes wrong once q·total needs more than 53
+// bits: both the product and the re-widened rank are rounded, so near 2^53
+// observations the comparison can resolve the wrong way and move a
+// percentile by a whole bucket. Here q is decomposed into its exact
+// significand and exponent (every finite float64 is mant/2^shift with mant
+// < 2^53), the product total·mant is formed in 128 bits, and the ceiling
+// division by the power of two is a shift plus a remainder test — exact
+// for every representable q and every total.
+func percentileRank(q float64, total uint64) uint64 {
+	if !(q > 0) { // also catches NaN
+		return 1
+	}
+	if q >= 1 {
+		return total
+	}
+	frac, exp := math.Frexp(q)       // q = frac·2^exp, frac ∈ [0.5, 1)
+	mant := uint64(frac * (1 << 53)) // exact: frac has at most 53 significant bits
+	shift := uint(53 - exp)          // q = mant/2^shift; q < 1 forces exp <= 0, so shift >= 53
+	hi, lo := bits.Mul64(total, mant)
+	var rank uint64
+	switch {
+	case shift >= 128:
+		if hi|lo != 0 {
+			rank = 1
+		}
+	case shift >= 64:
+		s := shift - 64 // < 64, so the mask shift below is in range
+		rank = hi >> s
+		if hi&(1<<s-1) != 0 || lo != 0 {
+			rank++
+		}
+	default:
+		rank = hi<<(64-shift) | lo>>shift
+		if lo&(1<<shift-1) != 0 {
+			rank++
+		}
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	return rank
 }

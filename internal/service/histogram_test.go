@@ -1,6 +1,10 @@
 package service
 
-import "testing"
+import (
+	"math"
+	"math/big"
+	"testing"
+)
 
 // Buckets 0..15 are exact (values below 16 map one-to-one); above that
 // each octave splits into histSub log-spaced sub-buckets. BucketUpper
@@ -85,5 +89,82 @@ func TestHistogramMerge(t *testing.T) {
 		if x, y := a.Percentile(q), all.Percentile(q); x != y {
 			t.Fatalf("p%g: merged %d vs direct %d", q*100, x, y)
 		}
+	}
+}
+
+// refRank is the mathematical definition percentileRank must match:
+// ceil(q·total) clamped to [1, total], computed in exact rational
+// arithmetic (big.Rat holds any float64 exactly).
+func refRank(q float64, total uint64) uint64 {
+	if !(q > 0) {
+		return 1
+	}
+	if q >= 1 {
+		return total
+	}
+	r := new(big.Rat).SetFloat64(q)
+	r.Mul(r, new(big.Rat).SetInt(new(big.Int).SetUint64(total)))
+	num, den := r.Num(), r.Denom()
+	ceil := new(big.Int).Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+	ceil.Div(ceil, den)
+	rank := ceil.Uint64()
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	return rank
+}
+
+// percentileRank must agree with exact rational arithmetic everywhere —
+// including the totals near and beyond 2^53 where the float path it
+// replaced rounded both the product q·total and the re-widened rank, so
+// its truncate-then-compare ceiling test could resolve the wrong way and
+// shift a percentile by a bucket.
+func TestPercentileRankExact(t *testing.T) {
+	totals := []uint64{
+		1, 2, 3, 10, 11, 100, 999, 1000,
+		1 << 52, 1<<53 - 1, 1 << 53, 1<<53 + 1, 1<<53 + 3,
+		1 << 60, math.MaxUint64 - 1, math.MaxUint64,
+	}
+	qs := []float64{
+		1e-18, 1e-9, 1.0 / 3, 0.5, 0.9, 0.95, 0.99, 0.999, 0.9999999,
+		math.Nextafter(1, 0), // largest q below 1
+	}
+	for _, total := range totals {
+		for _, q := range qs {
+			if got, want := percentileRank(q, total), refRank(q, total); got != want {
+				t.Errorf("percentileRank(%v, %d) = %d, want %d", q, total, got, want)
+			}
+		}
+	}
+}
+
+// The rank boundaries the issue names: q ≤ 0 (and NaN) pin to rank 1, q ≥
+// 1 pins to total, and a one-observation histogram answers rank 1 for
+// every quantile.
+func TestPercentileRankBoundaries(t *testing.T) {
+	for _, total := range []uint64{1, 2, 1000, math.MaxUint64} {
+		for _, q := range []float64{0, -0.5, math.NaN(), math.Inf(-1)} {
+			if got := percentileRank(q, total); got != 1 {
+				t.Errorf("percentileRank(%v, %d) = %d, want 1", q, total, got)
+			}
+		}
+		for _, q := range []float64{1, 1.5, math.Inf(1)} {
+			if got := percentileRank(q, total); got != total {
+				t.Errorf("percentileRank(%v, %d) = %d, want %d", q, total, got, total)
+			}
+		}
+	}
+	// Exact interior points: ceil semantics, not round.
+	if got := percentileRank(0.5, 10); got != 5 {
+		t.Errorf("percentileRank(0.5, 10) = %d, want 5", got)
+	}
+	if got := percentileRank(0.5, 11); got != 6 {
+		t.Errorf("percentileRank(0.5, 11) = %d, want ceil(5.5) = 6", got)
+	}
+	if got := percentileRank(0.99, 100); got != 99 {
+		t.Errorf("percentileRank(0.99, 100) = %d, want 99", got)
 	}
 }

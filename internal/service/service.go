@@ -113,13 +113,21 @@ func (a *admission) hot(key uint64) bool {
 	return a.cfg.HotThreshold > 0 && a.score[key] >= a.cfg.HotThreshold
 }
 
-// drawGap draws one inter-arrival gap, uniform in [mean/2, 3·mean/2] so
-// the mean offered rate is 1/mean with deterministic jitter.
+// drawGap draws one inter-arrival gap, uniform on an interval centred on
+// mean so the mean offered rate is 1/mean with deterministic jitter: the
+// draw is low + Intn(2·(mean/2)+1) with low = mean − mean/2, i.e. uniform
+// over [mean−⌊mean/2⌋, mean+⌊mean/2⌋]. For even means this is exactly the
+// historical [mean/2, 3·mean/2] draw (same Intn argument, same generator
+// consumption, so existing even-gap figure cells are byte-identical); for
+// odd means the symmetric interval keeps the true mean at mean instead of
+// mean−0.5, and for mean == MaxUint64 the width 2·(mean/2)+1 cannot
+// overflow to an Intn(0) division by zero the way mean+1 did.
 func drawGap(r *workloads.Rand, mean uint64) uint64 {
 	if mean == 0 {
 		return 0
 	}
-	return mean/2 + r.Intn(mean+1)
+	low := mean - mean/2
+	return low + r.Intn(2*(mean/2)+1)
 }
 
 // serializer is the admission hook both backends implement: run the next

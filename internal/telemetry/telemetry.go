@@ -55,6 +55,29 @@ const (
 	// IrrevocableCyclesHeld accumulates the simulated cycles the irrevocable
 	// token was held, from acquisition to release at commit.
 	IrrevocableCyclesHeld
+	// WriteBufferHits counts deferred-update (lazy/mvcc) transactional loads
+	// served from the transaction's own write buffer — the
+	// read-through-own-writes path.
+	WriteBufferHits
+	// SnapshotReads counts MVCC read barriers executed in snapshot mode
+	// (read-only so far, validating against the begin-time snapshot instead
+	// of logging for commit-time revalidation).
+	SnapshotReads
+	// VersionHistoryReads counts snapshot reads served from a location's
+	// retained version history rather than current memory — the reads that
+	// would have been validation aborts under a single-version scheme.
+	VersionHistoryReads
+	// MVCCUpgrades counts snapshot attempts that reached their first store
+	// with a still-current snapshot and upgraded in place to writer mode.
+	MVCCUpgrades
+	// MVCCWriterRestarts counts snapshot attempts whose first store found
+	// the snapshot stale, forcing a restart of the attempt in writer mode.
+	MVCCWriterRestarts
+	// SnapshotAborts counts aborts of attempts still in snapshot mode. For
+	// read-only MVCC transactions this is the "never abort" guarantee's
+	// counter: tests assert it stays zero (the only possible cause is a
+	// version-history prune miss).
+	SnapshotAborts
 	numCounters
 )
 
@@ -69,6 +92,12 @@ var counterNames = [numCounters]string{
 	Escalations:           "escalations",
 	IrrevocableEntries:    "irrevocable_entries",
 	IrrevocableCyclesHeld: "irrevocable_cycles_held",
+	WriteBufferHits:       "write_buffer_hits",
+	SnapshotReads:         "snapshot_reads",
+	VersionHistoryReads:   "version_history_reads",
+	MVCCUpgrades:          "mvcc_upgrades",
+	MVCCWriterRestarts:    "mvcc_writer_restarts",
+	SnapshotAborts:        "snapshot_aborts",
 }
 
 func (c Counter) String() string {
@@ -97,15 +126,19 @@ const (
 	// per million, observed at mode-transition points — the watermark value
 	// that triggered the switch.
 	WatermarkPPM
+	// WriteBufferHWM is the largest write buffer (deferred stores, including
+	// superseded entries) any lazy/mvcc transaction reached.
+	WriteBufferHWM
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	ReadSetHWM:    "read_set_hwm",
-	WriteSetHWM:   "write_set_hwm",
-	UndoLogHWM:    "undo_log_hwm",
-	RetryDepthHWM: "retry_depth_hwm",
-	WatermarkPPM:  "watermark_ppm",
+	ReadSetHWM:     "read_set_hwm",
+	WriteSetHWM:    "write_set_hwm",
+	UndoLogHWM:     "undo_log_hwm",
+	RetryDepthHWM:  "retry_depth_hwm",
+	WatermarkPPM:   "watermark_ppm",
+	WriteBufferHWM: "write_buffer_hwm",
 }
 
 func (g Gauge) String() string {

@@ -58,6 +58,18 @@ const (
 	// informational: the transaction's own begin/escalate/irrevocable/commit
 	// events follow as usual.
 	EvSerialize = "serialize"
+	// EvUpgrade marks an MVCC snapshot attempt that revalidated its read set
+	// at its first store and upgraded in place to writer mode. Informational:
+	// the attempt's own begin/commit (or abort) events carry the life-cycle.
+	EvUpgrade = "upgrade"
+	// EvWriterRestart terminates an MVCC snapshot attempt whose first store
+	// found the begin-time snapshot stale (a read was served from history or
+	// a read record has advanced): the attempt restarts pinned to writer
+	// mode. Like EvRetry it is a terminal that is deliberately NOT an abort —
+	// no conflict was lost, the scheme switched read strategies (abort
+	// counters and traced abort events must stay in one-to-one
+	// correspondence).
+	EvWriterRestart = "writer-restart"
 )
 
 // TraceBuffer collects transaction events from every core of one machine.

@@ -7,6 +7,7 @@ import (
 	"hastm.dev/hastm/internal/cache"
 	"hastm.dev/hastm/internal/core"
 	"hastm.dev/hastm/internal/htm"
+	"hastm.dev/hastm/internal/lazystm"
 	"hastm.dev/hastm/internal/locksync"
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/native"
@@ -47,7 +48,7 @@ func diffBuilders() []diffBuilder {
 }
 
 func diffSchemes() []string {
-	return []string{"seq", "lock", "stm", "hastm", "hytm", "htm"}
+	return []string{"seq", "lock", "stm", "lazy", "mvcc", "hastm", "hytm", "htm"}
 }
 
 func buildDiffScheme(name string, machine *sim.Machine, cores int) tm.System {
@@ -59,6 +60,10 @@ func buildDiffScheme(name string, machine *sim.Machine, cores int) tm.System {
 		return locksync.NewLock(machine)
 	case "stm":
 		return stm.New(machine, stmCfg)
+	case "lazy":
+		return lazystm.New(machine, stmCfg)
+	case "mvcc":
+		return lazystm.NewMVCC(machine, stmCfg)
 	case "hastm":
 		cfg := core.DefaultConfig(tm.LineGranularity)
 		cfg.SingleThread = cores == 1

@@ -38,8 +38,17 @@ func (r *Rand) Next() uint64 {
 	return r.s
 }
 
-// Intn returns a value in [0, n).
-func (r *Rand) Intn(n uint64) uint64 { return r.Next() % n }
+// Intn returns a value in [0, n). n must be positive: a modulus of zero
+// would be a division by zero, so a zero n panics with a message naming
+// this precondition instead of a bare runtime error. Callers whose n is
+// data-dependent (e.g. drawing from a key space that may have shrunk to
+// one element) must guard or validate before drawing.
+func (r *Rand) Intn(n uint64) uint64 {
+	if n == 0 {
+		panic("workloads: Rand.Intn(0): n must be > 0")
+	}
+	return r.Next() % n
+}
 
 // Percent reports true with probability p/100.
 func (r *Rand) Percent(p int) bool { return r.Next()%100 < uint64(p) }

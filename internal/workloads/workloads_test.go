@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -451,4 +452,30 @@ func TestRunThreadPropagatesErrors(t *testing.T) {
 			t.Error("expected the op error to propagate")
 		}
 	})
+}
+
+// Intn's n > 0 precondition: n == 0 used to reach the generator's modulo
+// and crash with a bare integer-divide-by-zero deep in a workload; now it
+// panics at the call site with a message naming the contract.
+func TestRandIntnZeroPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "Intn(0)") {
+			t.Fatalf("panic %v, want the documented Intn(0) message", r)
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandIntnOne(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 100; i++ {
+		if got := r.Intn(1); got != 0 {
+			t.Fatalf("Intn(1) = %d, want 0", got)
+		}
+	}
 }
