@@ -36,6 +36,23 @@
 // one: rerun the command above on the reference machine after an
 // intentional performance change and commit the rewritten
 // BENCH_native_baseline.json.
+//
+// -scale from:to:max adds a host-independent RELATIVE gate within one
+// bench run: the median ns/op of benchmark `to` must stay within
+// `max`× the median ns/op of benchmark `from`. Both names match by
+// suffix against the parsed keys, so the package prefix can be
+// omitted. This is how CI enforces simulator scalability — per-op
+// host cost at 256 cores must not collapse relative to 16 cores —
+// without baking an absolute number from one machine into the repo:
+//
+//	go test -bench 'SimOpsScale|DirCoherence' -benchmem -count=5 ./internal/sim > scale.txt
+//	benchgate -scale SimOpsScale/16core:SimOpsScale/256core:2.0 \
+//	          -scale DirCoherence/16core:DirCoherence/256core:2.0 scale.txt
+//
+// The flag repeats; with at least one -scale the baseline comparison
+// is skipped unless -baseline is given explicitly, so the scale gate
+// can run on benchmarks that are deliberately absent from
+// BENCH_baseline.json.
 package main
 
 import (
@@ -79,12 +96,15 @@ func main() {
 		maxRatio     = flag.Float64("max-ratio", 1.15, "maximum allowed geomean ns/op ratio (current/baseline)")
 		nativeMode   = flag.Bool("native", false, "gate native-backend service txns_per_sec from hastm-bench JSON instead of bench text")
 		tolerance    = flag.Float64("tolerance", 0.30, "-native: allowed geomean throughput drop (0.30 = 30% slower fails)")
+		scales       scaleFlags
 	)
+	flag.Var(&scales, "scale", "relative gate `from:to:max` within this run: ns/op of `to` must be <= max * ns/op of `from` (repeatable; suffix-matches benchmark names; skips the baseline compare unless -baseline is set explicitly)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-write] [-baseline file] [-max-ratio r] bench.txt|-\n       benchgate -native [-write] [-baseline file] [-tolerance t] svc.json|-")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-write] [-baseline file] [-max-ratio r] [-scale from:to:max]... bench.txt|-\n       benchgate -native [-write] [-baseline file] [-tolerance t] svc.json|-")
 		os.Exit(2)
 	}
+	scaleOnly := len(scales) > 0 && *baselinePath == "" && !*write && !*nativeMode
 	if *baselinePath == "" {
 		if *nativeMode {
 			*baselinePath = "BENCH_native_baseline.json"
@@ -116,6 +136,15 @@ func main() {
 		fatal(fmt.Errorf("no benchmark results in input"))
 	}
 
+	if err := checkScales(scales, current); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	if scaleOnly {
+		fmt.Println("benchgate: PASS")
+		return
+	}
+
 	if *write {
 		if err := writeBaseline(*baselinePath, current); err != nil {
 			fatal(err)
@@ -138,6 +167,92 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 	os.Exit(2)
+}
+
+// scaleGate is one -scale from:to:max triple.
+type scaleGate struct {
+	from, to string
+	max      float64
+}
+
+// scaleFlags collects repeated -scale flags.
+type scaleFlags []scaleGate
+
+func (s *scaleFlags) String() string {
+	parts := make([]string, len(*s))
+	for i, g := range *s {
+		parts[i] = fmt.Sprintf("%s:%s:%g", g.from, g.to, g.max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *scaleFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want from:to:max, got %q", v)
+	}
+	max, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("bad max ratio in %q", v)
+	}
+	*s = append(*s, scaleGate{from: parts[0], to: parts[1], max: max})
+	return nil
+}
+
+// findBench resolves a -scale benchmark name against the parsed keys:
+// an exact key, or a unique "/"-boundary suffix of one ("SimOpsScale/16core"
+// matches "internal/sim/SimOpsScale/16core").
+func findBench(name string, current map[string]BaselineEntry) (string, BaselineEntry, error) {
+	if e, ok := current[name]; ok {
+		return name, e, nil
+	}
+	var hits []string
+	for k := range current {
+		if strings.HasSuffix(k, "/"+name) {
+			hits = append(hits, k)
+		}
+	}
+	sort.Strings(hits)
+	switch len(hits) {
+	case 0:
+		return "", BaselineEntry{}, fmt.Errorf("benchmark %q not found in bench output", name)
+	case 1:
+		return hits[0], current[hits[0]], nil
+	default:
+		return "", BaselineEntry{}, fmt.Errorf("benchmark %q is ambiguous: matches %s", name, strings.Join(hits, ", "))
+	}
+}
+
+// checkScales enforces the same-run relative gates: ns/op(to) must stay
+// within max × ns/op(from). Host-independent by construction — both
+// medians come from the same machine and the same bench invocation.
+func checkScales(gates scaleFlags, current map[string]BaselineEntry) error {
+	var problems []string
+	for _, g := range gates {
+		fromKey, from, err := findBench(g.from, current)
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		toKey, to, err := findBench(g.to, current)
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		ratio := to.NsPerOp / from.NsPerOp
+		verdict := "ok"
+		if ratio > g.max {
+			verdict = "FAIL"
+			problems = append(problems,
+				fmt.Sprintf("scale gate %s -> %s: ratio %.3f exceeds %.2f", fromKey, toKey, ratio, g.max))
+		}
+		fmt.Printf("scale %-60s %8.1f -> %8.1f ns/op  ratio %.3f (limit %.2f) %s\n",
+			fromKey+" -> "+toKey, from.NsPerOp, to.NsPerOp, ratio, g.max, verdict)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "; "))
+	}
+	return nil
 }
 
 // sample is one run of one benchmark.

@@ -78,6 +78,8 @@ import (
 
 	"hastm.dev/hastm/internal/faults"
 	"hastm.dev/hastm/internal/harness"
+	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/telemetry"
 )
 
@@ -366,6 +368,9 @@ func realMain() int {
 		cycleBud = flag.Uint64("cycle-budget", 2_000_000_000, "hard per-run simulated-cycle budget for figure cells (0 = unlimited)")
 		watchWin = flag.Uint64("watchdog-window", 50_000_000, "commit-progress watchdog window in cycles for figure cells (0 = off)")
 		schedF   = flag.String("sched", "lease", "simulator scheduler: lease (grant-lease fast path) or reference (per-op handoff)")
+		topoF    = flag.String("topology", "", "machine topology SxC (e.g. 4x16 = 4 sockets × 16 cores); empty = flat machine sized per cell")
+		mapF     = flag.String("mapping", "", "thread mapping on a multi-socket -topology: compact (default) or scatter")
+		placeF   = flag.String("placement", "interleave", "page→home-socket policy on a multi-socket -topology: interleave or first-touch")
 		backendF = flag.String("backend", "sim", "execution backend: sim (cycle-ordered simulator) or native (host-goroutine TL2 on real memory)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -438,6 +443,34 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "hastm-bench: -sched must be lease or reference, got %q\n", *schedF)
 		return 2
 	}
+	// NUMA knobs are validated here, before any machine is built, so a bad
+	// topology or an over-subscribed cell fails with a flag error instead of
+	// a panic deep in the simulator.
+	if *topoF != "" {
+		top, err := sim.ParseTopology(*topoF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: -topology: %v\n", err)
+			return 2
+		}
+		if total := top.Sockets * top.CoresPerSocket; total < harness.MaxFigureThreads {
+			fmt.Fprintf(os.Stderr, "hastm-bench: -topology %s has %d cores, but experiment cells use up to %d threads\n",
+				top, total, harness.MaxFigureThreads)
+			return 2
+		}
+		o.Topology = top
+	}
+	mapping, err := harness.ParseMapping(*mapF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hastm-bench: -mapping: %v\n", err)
+		return 2
+	}
+	o.Mapping = mapping
+	placement, err := mem.ParsePlacement(*placeF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hastm-bench: -placement: %v\n", err)
+		return 2
+	}
+	o.Placement = placement
 
 	switch *backendF {
 	case "sim":

@@ -1,11 +1,22 @@
 // Package cache models the cache hierarchy of the simulated machine: one
-// private L1 data cache per core plus a shared, inclusive L2.
+// private L1 data cache per core plus a shared, inclusive L2 per socket.
 //
 // Data never lives here — the authoritative copy is in package mem. The
 // caches track only what the paper's hardware mechanisms need: line
 // residency, a coherence state, LRU, and the per-line mark-bit mask that
 // implements the proposed ISA extension (one mark bit per 16-byte sub-block
 // of a 64-byte line, i.e. four bits per line).
+//
+// Coherence is directory-style: each L2 line carries a sharer set naming
+// the L1 groups of its socket that hold a copy, so a store invalidates
+// exactly the actual sharers instead of probing every L1 in the machine.
+// The sharer sets are precise — set when an L1 fills a line, cleared when
+// the copy drops — and they are walked in ascending group order, which
+// makes a 1-socket machine produce the exact event order of the broadcast
+// snoop it replaced. With more than one socket, misses that another
+// socket's L2 must serve (clean or dirty) are flagged on the AccessResult
+// so the simulator can charge cross-socket latency, and per-socket NUMA
+// counters record the interconnect traffic.
 //
 // Mark bits are private per hardware thread (= per core here) and
 // non-persistent: they are cleared when a line is filled and they vanish
@@ -16,7 +27,9 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
+	"math/bits"
 
 	"hastm.dev/hastm/internal/mem"
 )
@@ -58,6 +71,10 @@ func (r DropReason) String() string {
 // MaxSMT is the maximum number of hardware threads sharing one L1.
 const MaxSMT = 2
 
+// MaxGroupsPerSocket bounds the L1 groups one socket's directory can name:
+// the sharer set is a fixed 256-bit mask.
+const MaxGroupsPerSocket = 256
+
 // NumMarkPlanes is how many independent mark-bit filters each line
 // carries. The paper implements one but notes "one could support multiple
 // filters concurrently with independent mark bits to enable additional
@@ -91,19 +108,42 @@ type RemoteReadListener interface {
 	LineRead(reader int, lineAddr uint64)
 }
 
+// ErrBadGeometry is the named error every cache-geometry validation
+// failure wraps: the set-index lookup masks with len(sets)-1, so sets,
+// ways and the line size must all be positive powers of two or lookups
+// would silently truncate to the wrong set.
+var ErrBadGeometry = errors.New("cache: sets, ways and line size must be positive powers of two")
+
 // Config describes one cache level.
 type Config struct {
 	SizeBytes int // total capacity
 	Assoc     int // ways per set
 }
 
+// Validate checks the geometry at construction time: ways must be a
+// positive power of two and the implied set count (SizeBytes / (line ×
+// ways)) must divide evenly into a positive power of two. The line size is
+// the fixed mem.LineSize (64, a power of two by construction). Failures
+// wrap ErrBadGeometry.
+func (c Config) Validate() error {
+	if c.Assoc <= 0 || c.Assoc&(c.Assoc-1) != 0 {
+		return fmt.Errorf("%w: %d ways", ErrBadGeometry, c.Assoc)
+	}
+	way := mem.LineSize * c.Assoc
+	s := c.SizeBytes / way
+	if c.SizeBytes%way != 0 || s <= 0 || s&(s-1) != 0 {
+		return fmt.Errorf("%w: %d bytes / (%d ways × %dB lines) yields %d sets",
+			ErrBadGeometry, c.SizeBytes, c.Assoc, mem.LineSize, s)
+	}
+	return nil
+}
+
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int {
-	s := c.SizeBytes / (mem.LineSize * c.Assoc)
-	if s <= 0 || s&(s-1) != 0 {
-		panic(fmt.Sprintf("cache: config %+v yields %d sets (must be a positive power of two)", c, s))
+	if err := c.Validate(); err != nil {
+		panic(err)
 	}
-	return s
+	return c.SizeBytes / (mem.LineSize * c.Assoc)
 }
 
 type state uint8
@@ -123,24 +163,43 @@ type line struct {
 	lru  uint64
 }
 
+// sharerMask is a directory entry's sharer set: one bit per L1 group of
+// the owning socket. Kept out of the line struct so L1 probe loops stay
+// compact; L2 levels carry one mask per way in a parallel array.
+type sharerMask [MaxGroupsPerSocket / 64]uint64
+
+func (m *sharerMask) set(g int)   { m[g>>6] |= 1 << (g & 63) }
+func (m *sharerMask) clear(g int) { m[g>>6] &^= 1 << (g & 63) }
+
 type level struct {
 	cfg     Config
 	sets    [][]line
-	setMask uint64 // len(sets)-1; Sets() guarantees a power of two
+	sharers [][]sharerMask // parallel to sets; non-nil only on directory (L2) levels
+	setMask uint64         // len(sets)-1; Sets() guarantees a power of two
 	tick    uint64
 }
 
-func newLevel(cfg Config) *level {
+func newLevel(cfg Config, directory bool) *level {
 	l := &level{cfg: cfg, sets: make([][]line, cfg.Sets())}
 	l.setMask = uint64(len(l.sets) - 1)
 	for i := range l.sets {
 		l.sets[i] = make([]line, cfg.Assoc)
 	}
+	if directory {
+		l.sharers = make([][]sharerMask, len(l.sets))
+		for i := range l.sharers {
+			l.sharers[i] = make([]sharerMask, cfg.Assoc)
+		}
+	}
 	return l
 }
 
+func (l *level) setIdx(lineAddr uint64) uint64 {
+	return (lineAddr / mem.LineSize) & l.setMask
+}
+
 func (l *level) set(lineAddr uint64) []line {
-	return l.sets[(lineAddr/mem.LineSize)&l.setMask]
+	return l.sets[l.setIdx(lineAddr)]
 }
 
 // lookup returns the way holding lineAddr, or nil. Iterates by index so
@@ -153,6 +212,19 @@ func (l *level) lookup(lineAddr uint64) *line {
 		}
 	}
 	return nil
+}
+
+// lookupDir is lookup plus the way's directory entry (directory levels
+// only).
+func (l *level) lookupDir(lineAddr uint64) (*line, *sharerMask) {
+	si := l.setIdx(lineAddr)
+	set := l.sets[si]
+	for i := range set {
+		if w := &set[i]; w.st != invalid && w.tag == lineAddr {
+			return w, &l.sharers[si][i]
+		}
+	}
+	return nil, nil
 }
 
 // victim returns the way to fill for lineAddr: an invalid way if one
@@ -173,17 +245,59 @@ func (l *level) victim(lineAddr uint64) *line {
 	return best
 }
 
+// victimDir is victim plus the chosen way's directory entry (directory
+// levels only).
+func (l *level) victimDir(lineAddr uint64) (*line, *sharerMask) {
+	si := l.setIdx(lineAddr)
+	set := l.sets[si]
+	best := 0
+	for i := range set {
+		w := &set[i]
+		if w.st == invalid {
+			return w, &l.sharers[si][i]
+		}
+		if w.lru < set[best].lru {
+			best = i
+		}
+	}
+	return &set[best], &l.sharers[si][best]
+}
+
 func (l *level) touch(w *line) {
 	l.tick++
 	w.lru = l.tick
 }
 
-// Hierarchy is the full cache system: per-core L1s over a shared
-// inclusive L2.
+// SocketCounters is one socket's NUMA traffic block. Each socket gets its
+// own cache-line-padded block (the per-thread telemetry idiom); counters
+// are plain increments under the simulator's grant lease and are merged at
+// report time. All three counters measure cross-socket interconnect
+// traffic, so a 1-socket machine leaves them structurally zero.
+type SocketCounters struct {
+	// CrossSocketMisses counts this socket's misses that left the socket:
+	// served by a remote socket's L2 (clean or dirty) or by a memory page
+	// whose home is another socket.
+	CrossSocketMisses uint64
+	// RemoteDirtyFetches counts this socket's misses served from a line
+	// another socket's core held modified (dirty-remote transfer).
+	RemoteDirtyFetches uint64
+	// DirectoryInvalidations counts invalidation messages this socket's
+	// writers sent across the interconnect: one per remote L1 copy dropped
+	// plus one per remote L2 line invalidated.
+	DirectoryInvalidations uint64
+
+	_ [5]uint64 // pad to one host cache line
+}
+
+// Hierarchy is the full cache system: per-core L1s over one shared
+// inclusive L2 per socket, kept coherent by per-line directory sharer
+// sets.
 type Hierarchy struct {
-	l1  []*level
-	l2  *level
-	tpc int // hardware threads per core (per L1)
+	l1      []*level
+	l2      []*level // one per socket
+	tpc     int      // hardware threads per core (per L1)
+	gps     int      // L1 groups per socket
+	sockets int
 
 	prefetch bool // next-line prefetch into L1 on L1 miss
 
@@ -198,40 +312,87 @@ type Hierarchy struct {
 	Evictions         uint64
 	MarkedDrops       uint64 // drops of lines that had mark bits set
 	PrefetchFills     uint64
+
+	// Socket holds the per-socket NUMA traffic blocks, indexed by socket.
+	Socket []SocketCounters
 }
 
 // HierarchyConfig configures New. Cores is the number of HARDWARE THREADS;
-// ThreadsPerCore > 1 groups them onto shared L1s (SMT).
+// ThreadsPerCore > 1 groups them onto shared L1s (SMT); Sockets > 1 splits
+// the L1 groups evenly over per-socket L2s (0 means 1).
 type HierarchyConfig struct {
 	Cores          int
 	ThreadsPerCore int // 0 or 1 = no SMT; at most MaxSMT
+	Sockets        int // 0 or 1 = flat single-socket machine
 	L1             Config
 	L2             Config
 	Prefetch       bool
 }
 
-// New builds the hierarchy for the given number of hardware threads.
-func New(cfg HierarchyConfig) *Hierarchy {
+// Validate checks the whole hierarchy configuration — both levels'
+// geometry (wrapping ErrBadGeometry) and the thread/socket factoring —
+// without building anything, so callers can surface a clear error instead
+// of a construction panic.
+func (cfg HierarchyConfig) Validate() error {
+	if err := cfg.L1.Validate(); err != nil {
+		return fmt.Errorf("L1: %w", err)
+	}
+	if err := cfg.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
 	if cfg.Cores <= 0 {
-		panic("cache: need at least one hardware thread")
+		return errors.New("cache: need at least one hardware thread")
 	}
 	tpc := cfg.ThreadsPerCore
 	if tpc <= 0 {
 		tpc = 1
 	}
 	if tpc > MaxSMT {
-		panic(fmt.Sprintf("cache: ThreadsPerCore %d exceeds MaxSMT %d", tpc, MaxSMT))
+		return fmt.Errorf("cache: ThreadsPerCore %d exceeds MaxSMT %d", tpc, MaxSMT)
 	}
 	if cfg.Cores%tpc != 0 {
-		panic("cache: thread count must be a multiple of ThreadsPerCore")
+		return errors.New("cache: thread count must be a multiple of ThreadsPerCore")
 	}
+	sockets := cfg.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	groups := cfg.Cores / tpc
+	if groups%sockets != 0 {
+		return fmt.Errorf("cache: %d L1 groups do not split evenly over %d sockets", groups, sockets)
+	}
+	if gps := groups / sockets; gps > MaxGroupsPerSocket {
+		return fmt.Errorf("cache: %d L1 groups per socket exceeds the %d-entry directory", gps, MaxGroupsPerSocket)
+	}
+	return nil
+}
+
+// New builds the hierarchy for the given number of hardware threads.
+func New(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	tpc := cfg.ThreadsPerCore
+	if tpc <= 0 {
+		tpc = 1
+	}
+	sockets := cfg.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	groups := cfg.Cores / tpc
 	h := &Hierarchy{
-		l2:       newLevel(cfg.L2),
 		tpc:      tpc,
+		gps:      groups / sockets,
+		sockets:  sockets,
 		prefetch: cfg.Prefetch,
+		Socket:   make([]SocketCounters, sockets),
 	}
-	for i := 0; i < cfg.Cores/tpc; i++ {
-		h.l1 = append(h.l1, newLevel(cfg.L1))
+	for i := 0; i < groups; i++ {
+		h.l1 = append(h.l1, newLevel(cfg.L1, false))
+	}
+	for s := 0; s < sockets; s++ {
+		h.l2 = append(h.l2, newLevel(cfg.L2, true))
 	}
 	return h
 }
@@ -241,6 +402,19 @@ func (h *Hierarchy) l1Of(thread int) *level { return h.l1[thread/h.tpc] }
 
 // slotOf maps a hardware thread to its mark slot within a shared L1.
 func (h *Hierarchy) slotOf(thread int) int { return thread % h.tpc }
+
+// SocketOf maps a hardware thread to its socket.
+func (h *Hierarchy) SocketOf(thread int) int { return thread / h.tpc / h.gps }
+
+// NumSockets returns the machine's socket count.
+func (h *Hierarchy) NumSockets() int { return h.sockets }
+
+// NoteRemoteMemory records a miss of thread's socket that memory with a
+// remote home socket had to serve. The simulator calls this when the
+// placement policy homes the missed page on another socket.
+func (h *Hierarchy) NoteRemoteMemory(thread int) {
+	h.Socket[h.SocketOf(thread)].CrossSocketMisses++
+}
 
 // AddDropListener registers a listener for L1 line drops.
 func (h *Hierarchy) AddDropListener(l DropListener) {
@@ -253,7 +427,8 @@ func (h *Hierarchy) AddRemoteReadListener(l RemoteReadListener) {
 }
 
 // drop invalidates a line in L1 group l1idx, notifying every hardware
-// thread that shares the L1 with its own mark slot.
+// thread that shares the L1 with its own mark slot, and clears the group's
+// bit in its socket's directory entry (the sharer sets stay precise).
 func (h *Hierarchy) drop(l1idx int, w *line, reason DropReason, byThread int) {
 	if w.st == invalid {
 		return
@@ -261,6 +436,9 @@ func (h *Hierarchy) drop(l1idx int, w *line, reason DropReason, byThread int) {
 	addr, marks := w.tag, w.mark
 	w.st = invalid
 	w.mark = [MaxSMT]MarkMasks{}
+	if _, m := h.l2[l1idx/h.gps].lookupDir(addr); m != nil {
+		m.clear(l1idx % h.gps)
+	}
 	any := false
 	for _, m := range marks {
 		if m.Any() {
@@ -318,7 +496,14 @@ func (h *Hierarchy) siblingStore(thread int, w *line) {
 // AccessResult reports where an access hit.
 type AccessResult struct {
 	L1Hit bool
-	L2Hit bool // meaningful only when !L1Hit
+	L2Hit bool // local-socket L2 hit; meaningful only when !L1Hit
+	// RemoteL2 marks a miss another socket's L2 served (clean or dirty);
+	// never set on a 1-socket machine. When it is false and the access
+	// missed both L1 and the local L2, memory served the line.
+	RemoteL2 bool
+	// RemoteDirty marks a RemoteL2 transfer sourced from a line a remote
+	// core held modified (dirty-remote fetch, the most expensive hop).
+	RemoteDirty bool
 }
 
 // Access simulates core's load or store of the line containing addr,
@@ -333,7 +518,7 @@ func (h *Hierarchy) Access(thread int, addr uint64, write bool) AccessResult {
 		h.L1Hits++
 		if write {
 			if w.st != modified {
-				// Upgrade: invalidate every other L1's copy.
+				// Upgrade: invalidate every other copy in the machine.
 				h.invalidateOthers(thread, la)
 				w.st = modified
 			}
@@ -347,29 +532,29 @@ func (h *Hierarchy) Access(thread int, addr uint64, write bool) AccessResult {
 
 	h.L1Misses++
 	res := AccessResult{}
+	ownSock := thread / h.tpc / h.gps
 
+	remoteDirty := false
 	if !write {
 		// A read miss downgrades any remote Modified copy to Shared so the
-		// old owner's next store is forced to re-invalidate us.
-		own := thread / h.tpc
-		for c := range h.l1 {
-			if c == own {
-				continue
-			}
-			if w := h.l1[c].lookup(la); w != nil && w.st == modified {
-				w.st = shared
-			}
-		}
+		// old owner's next store is forced to re-invalidate us. The
+		// directory walk visits actual sharers in ascending group order —
+		// the same copies, in the same order, the broadcast snoop scanned.
+		remoteDirty = h.downgradeModified(thread, la)
 	}
 
-	// Ensure the line is in L2 (inclusive).
-	if w2 := h.l2.lookup(la); w2 != nil {
-		h.l2.touch(w2)
+	// Ensure the line is in the local socket's L2 (inclusive).
+	l2 := h.l2[ownSock]
+	if w2 := l2.lookup(la); w2 != nil {
+		l2.touch(w2)
 		h.L2Hits++
 		res.L2Hit = true
 	} else {
 		h.L2Misses++
-		h.fillL2(la)
+		if h.sockets > 1 {
+			h.probeRemote(thread, ownSock, la, write, remoteDirty, &res)
+		}
+		h.fillL2(ownSock, la)
 	}
 
 	h.fillL1(thread, la, write)
@@ -402,8 +587,8 @@ func (h *Hierarchy) Access(thread int, addr uint64, write bool) AccessResult {
 				}
 				continue
 			}
-			if h.l2.lookup(next) == nil {
-				h.fillL2(next)
+			if l2.lookup(next) == nil {
+				h.fillL2(ownSock, next)
 			}
 			h.fillL1(thread, next, write)
 			h.PrefetchFills++
@@ -412,10 +597,83 @@ func (h *Hierarchy) Access(thread int, addr uint64, write bool) AccessResult {
 	return res
 }
 
+// downgradeModified walks every socket's directory entry for la and
+// downgrades a Modified copy to Shared, returning whether that copy lived
+// on a different socket than the accessor (a dirty-remote source).
+func (h *Hierarchy) downgradeModified(thread int, la uint64) bool {
+	own := thread / h.tpc
+	ownSock := own / h.gps
+	remoteDirty := false
+	for s := 0; s < h.sockets; s++ {
+		_, m := h.l2[s].lookupDir(la)
+		if m == nil {
+			continue
+		}
+		mask := *m
+		for wi, word := range mask {
+			for word != 0 {
+				g := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				grp := s*h.gps + g
+				if grp == own {
+					continue
+				}
+				if w := h.l1[grp].lookup(la); w != nil && w.st == modified {
+					w.st = shared
+					if s != ownSock {
+						remoteDirty = true
+					}
+				}
+			}
+		}
+	}
+	return remoteDirty
+}
+
+// probeRemote resolves a local-L2 miss against the other sockets: if any
+// remote L2 holds the line the transfer is cross-socket (dirty when a
+// remote core holds — or, for a read, just held — the line modified), else
+// the miss falls through to memory. Counters land on the accessor's
+// socket; the remote copies themselves are left alone (a write invalidates
+// them moments later through invalidateOthers).
+func (h *Hierarchy) probeRemote(thread, ownSock int, la uint64, write, readSawDirty bool, res *AccessResult) {
+	for s := 0; s < h.sockets; s++ {
+		if s == ownSock {
+			continue
+		}
+		w2, m := h.l2[s].lookupDir(la)
+		if w2 == nil {
+			continue
+		}
+		res.RemoteL2 = true
+		dirty := readSawDirty
+		if write && !dirty {
+			mask := *m
+			for wi, word := range mask {
+				for word != 0 {
+					g := wi<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if w := h.l1[s*h.gps+g].lookup(la); w != nil && w.st == modified {
+						dirty = true
+					}
+				}
+			}
+		}
+		res.RemoteDirty = dirty
+		sc := &h.Socket[ownSock]
+		sc.CrossSocketMisses++
+		if dirty {
+			sc.RemoteDirtyFetches++
+		}
+		return
+	}
+}
+
 // fillL1 installs la into core's L1, evicting as needed and invalidating
 // other copies when the fill is for a write. New fills always start with a
 // clear mark mask ("when the processor brings a line into the cache, it
-// clears all the mark bits for the new line").
+// clears all the mark bits for the new line"); the socket's directory
+// entry gains the group's sharer bit.
 func (h *Hierarchy) fillL1(thread int, la uint64, write bool) {
 	l1idx := thread / h.tpc
 	l1 := h.l1[l1idx]
@@ -432,24 +690,36 @@ func (h *Hierarchy) fillL1(thread int, la uint64, write bool) {
 		v.st = shared
 	}
 	l1.touch(v)
+	if _, m := h.l2[l1idx/h.gps].lookupDir(la); m != nil {
+		m.set(l1idx % h.gps)
+	}
 }
 
-// fillL2 installs la into the shared L2; the victim, if any, is
-// back-invalidated out of every L1 to preserve inclusion.
-func (h *Hierarchy) fillL2(la uint64) {
-	v := h.l2.victim(la)
+// fillL2 installs la into sock's L2; the victim, if any, is
+// back-invalidated out of the socket's L1s — exactly the sharers its
+// directory entry names — to preserve inclusion.
+func (h *Hierarchy) fillL2(sock int, la uint64) {
+	l2 := h.l2[sock]
+	v, vm := l2.victimDir(la)
 	if v.st != invalid {
 		evicted := v.tag
-		for c := range h.l1 {
-			if w := h.l1[c].lookup(evicted); w != nil {
-				h.drop(c, w, DropBackInvalidate, -1)
+		mask := *vm
+		for wi, word := range mask {
+			for word != 0 {
+				g := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				grp := sock*h.gps + g
+				if w := h.l1[grp].lookup(evicted); w != nil {
+					h.drop(grp, w, DropBackInvalidate, -1)
+				}
 			}
 		}
 	}
 	v.tag = la
 	v.st = shared
 	v.mark = [MaxSMT]MarkMasks{}
-	h.l2.touch(v)
+	*vm = sharerMask{}
+	l2.touch(v)
 }
 
 // SpeculativeRFO models a wrong-path / predicted-store read-for-ownership
@@ -478,37 +748,92 @@ func (h *Hierarchy) EvictLine(thread int, addr uint64) bool {
 	return true
 }
 
-// BackInvalidateLine forces the line containing addr out of the shared L2
-// and — by inclusion — out of every L1, exactly what an L2 victimisation
-// does ("one core accidentally kicking out marked cache lines of another
-// core", §7.4), and returns how many L1 copies were dropped. Fault
-// injection uses this as an on-demand snoop/back-invalidation.
+// BackInvalidateLine forces the line containing addr out of every socket's
+// L2 and — by inclusion — out of every sharing L1, exactly what an L2
+// victimisation does ("one core accidentally kicking out marked cache
+// lines of another core", §7.4), and returns how many L1 copies were
+// dropped. Fault injection uses this as an on-demand snoop/back-
+// invalidation.
 func (h *Hierarchy) BackInvalidateLine(addr uint64) int {
 	la := mem.LineAddr(addr)
 	n := 0
-	for c := range h.l1 {
-		if w := h.l1[c].lookup(la); w != nil {
-			h.drop(c, w, DropBackInvalidate, -1)
-			n++
+	for s := 0; s < h.sockets; s++ {
+		w2, m := h.l2[s].lookupDir(la)
+		if w2 == nil {
+			continue
 		}
-	}
-	if w2 := h.l2.lookup(la); w2 != nil {
+		mask := *m
+		for wi, word := range mask {
+			for word != 0 {
+				g := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				grp := s*h.gps + g
+				if w := h.l1[grp].lookup(la); w != nil {
+					h.drop(grp, w, DropBackInvalidate, -1)
+					n++
+				}
+			}
+		}
 		w2.st = invalid
 		w2.mark = [MaxSMT]MarkMasks{}
+		*m = sharerMask{}
 	}
 	return n
 }
 
-// invalidateOthers removes la from every L1 except the writer's.
+// invalidateOthers removes la from every L1 except the writer's, walking
+// directory sharer sets instead of probing each L1: the writer's own
+// socket drops exactly its sharers (ascending group order — the broadcast
+// snoop's order), and any other socket holding the line drops its sharers
+// and gives up its L2 copy (exclusive ownership moves to the writer's
+// socket).
 func (h *Hierarchy) invalidateOthers(writer int, la uint64) {
 	own := writer / h.tpc
-	for c := range h.l1 {
-		if c == own {
+	ownSock := own / h.gps
+	if _, m := h.l2[ownSock].lookupDir(la); m != nil {
+		mask := *m
+		for wi, word := range mask {
+			for word != 0 {
+				g := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				grp := ownSock*h.gps + g
+				if grp == own {
+					continue
+				}
+				if w := h.l1[grp].lookup(la); w != nil {
+					h.drop(grp, w, DropInvalidate, writer)
+				}
+			}
+		}
+	}
+	if h.sockets == 1 {
+		return
+	}
+	sc := &h.Socket[ownSock]
+	for s := 0; s < h.sockets; s++ {
+		if s == ownSock {
 			continue
 		}
-		if w := h.l1[c].lookup(la); w != nil {
-			h.drop(c, w, DropInvalidate, writer)
+		w2, m := h.l2[s].lookupDir(la)
+		if w2 == nil {
+			continue
 		}
+		mask := *m
+		for wi, word := range mask {
+			for word != 0 {
+				g := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				grp := s*h.gps + g
+				if w := h.l1[grp].lookup(la); w != nil {
+					h.drop(grp, w, DropInvalidate, writer)
+					sc.DirectoryInvalidations++
+				}
+			}
+		}
+		w2.st = invalid
+		w2.mark = [MaxSMT]MarkMasks{}
+		*m = sharerMask{}
+		sc.DirectoryInvalidations++
 	}
 }
 

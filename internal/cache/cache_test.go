@@ -343,7 +343,7 @@ func TestQuickInclusionInvariant(t *testing.T) {
 					if w.st == invalid {
 						continue
 					}
-					if h.l2.lookup(w.tag) == nil {
+					if h.l2[0].lookup(w.tag) == nil {
 						return false
 					}
 				}

@@ -16,7 +16,7 @@ import (
 // deterministic per scheme (the simulator's interleaving is), but schemes
 // may legitimately differ because commit order differs.
 func FinalStateHash(scheme, workload string, cores int, o Options, updatePct int) (uint64, error) {
-	if err := validateConfig(scheme, workload, cores); err != nil {
+	if err := validateConfig(scheme, workload, cores, o); err != nil {
 		return 0, err
 	}
 	machine := machineFor(cores, o)

@@ -73,7 +73,7 @@ func FaultSchemes() []string {
 // sweep can collect all verdicts.
 func FaultedRun(scheme, workload string, cores int, o Options, spec faults.Spec, updatePct int) (FaultReport, error) {
 	rep := FaultReport{Scheme: scheme, Workload: workload, Cores: cores}
-	if err := validateConfig(scheme, workload, cores); err != nil {
+	if err := validateConfig(scheme, workload, cores, o); err != nil {
 		return rep, err
 	}
 

@@ -20,6 +20,11 @@ type Spec struct {
 // goroutine — the serial reference behaviour.
 func (s Spec) Run(o Options) *Report { return runSerial(s.Plan(o)) }
 
+// MaxFigureThreads is the largest thread count any registered figure cell
+// uses (the Fig 11 sweep); a machine Topology passed to the whole registry
+// must have at least this many cores.
+const MaxFigureThreads = 16
+
 // All returns the experiment registry in paper order.
 func All() []Spec {
 	return []Spec{

@@ -41,7 +41,14 @@ import (
 // service cells) and the telemetry block gains their counters
 // (write_buffer_hits, snapshot_reads, version_history_reads, mvcc_upgrades,
 // mvcc_writer_restarts, snapshot_aborts) and the write_buffer_hwm gauge.
-const BenchSchema = "hastm-bench/7"
+// hastm-bench/8: the machine becomes socket-aware. Options gains Topology
+// (SxC machine shape), Mapping (compact/scatter thread placement) and
+// Placement (interleave/first-touch page homing); cells that ran on a
+// multi-socket machine gain a numa block: the topology/mapping/placement
+// they ran under plus per-socket traffic counters (cross_socket_misses,
+// remote_dirty_fetches, directory_invalidations) and their totals. Flat
+// cells carry no numa block and are unchanged from /7 cell-for-cell.
+const BenchSchema = "hastm-bench/8"
 
 // SchedRecord is the host-side scheduler-efficiency block of a cell: how
 // many architectural ops the simulator granted and how many scheduler
@@ -51,6 +58,26 @@ type SchedRecord struct {
 	Grants          uint64 `json:"grants"`
 	Leases          uint64 `json:"leases"`
 	HandoffsAvoided uint64 `json:"handoffs_avoided"`
+}
+
+// SocketTraffic is one socket's NUMA traffic block: misses that crossed
+// the interconnect, attributed to the accessing socket, and invalidations
+// sent, attributed to the writing socket.
+type SocketTraffic struct {
+	CrossSocketMisses      uint64 `json:"cross_socket_misses"`
+	RemoteDirtyFetches     uint64 `json:"remote_dirty_fetches"`
+	DirectoryInvalidations uint64 `json:"directory_invalidations"`
+}
+
+// NUMARecord is the per-cell NUMA block of a multi-socket run: the machine
+// shape and policy knobs the cell ran under, the per-socket traffic blocks
+// merged at report time, and their machine-wide totals.
+type NUMARecord struct {
+	Topology  string          `json:"topology"`
+	Mapping   string          `json:"mapping"`
+	Placement string          `json:"placement"`
+	Sockets   []SocketTraffic `json:"sockets"`
+	Total     SocketTraffic   `json:"total"`
 }
 
 // CellRecord is the per-cell line of a benchmark run: the simulated result
@@ -80,6 +107,8 @@ type CellRecord struct {
 	// Service is the open-loop service block (latency percentiles, offered
 	// rate, goodput, shed counts); only on `-service` cells.
 	Service *ServiceRecord `json:"service,omitempty"`
+	// NUMA is the multi-socket traffic block; absent on flat-machine cells.
+	NUMA *NUMARecord `json:"numa,omitempty"`
 	// Error is the cell's contained failure report ("" = the run
 	// succeeded): a recovered core panic or a progress-watchdog violation.
 	Error string `json:"error,omitempty"`
@@ -147,6 +176,7 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 				}
 			}
 			rec.Service = c.Metrics().Service
+			rec.NUMA = numaRecord(c.Metrics())
 			if sc := c.Metrics().Sched; sc.Grants > 0 {
 				rec.Sched = &SchedRecord{
 					Grants:          sc.Grants,
@@ -158,6 +188,31 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 		}
 	}
 	return b
+}
+
+// numaRecord builds a cell's NUMA block from its metrics, or nil for a
+// flat-machine run (whose per-socket counters are structurally zero).
+func numaRecord(m RunMetrics) *NUMARecord {
+	if m.Topology.IsFlat() || m.CacheStats == nil {
+		return nil
+	}
+	rec := &NUMARecord{
+		Topology:  m.Topology.String(),
+		Mapping:   m.Mapping,
+		Placement: m.Placement.String(),
+	}
+	for _, s := range m.CacheStats.Socket {
+		t := SocketTraffic{
+			CrossSocketMisses:      s.CrossSocketMisses,
+			RemoteDirtyFetches:     s.RemoteDirtyFetches,
+			DirectoryInvalidations: s.DirectoryInvalidations,
+		}
+		rec.Sockets = append(rec.Sockets, t)
+		rec.Total.CrossSocketMisses += t.CrossSocketMisses
+		rec.Total.RemoteDirtyFetches += t.RemoteDirtyFetches
+		rec.Total.DirectoryInvalidations += t.DirectoryInvalidations
+	}
+	return rec
 }
 
 // Write emits the document as indented JSON.

@@ -69,6 +69,65 @@ type Options struct {
 	// no abort path), which bounds retries under adversarial contention.
 	// 0 leaves the ladder off — the standard figure configuration.
 	RetryBudget int
+	// Topology, when non-zero, sizes every machine at Sockets ×
+	// CoresPerSocket cores with per-socket L2s, directory coherence and
+	// NUMA latencies, independent of the cell's thread count; threads are
+	// placed on cores by Mapping and must fit (threads ≤ total cores). The
+	// zero value keeps the flat machine whose core count equals the thread
+	// count. Topology{1, N} is byte-identical to the flat N-core machine
+	// (the 1-socket equivalence suite asserts it).
+	Topology sim.Topology
+	// Mapping places threads onto a multi-socket Topology's cores:
+	// MapCompact ("" or "compact", the default) fills sockets in core
+	// order, MapScatter ("scatter") round-robins threads across sockets.
+	// Irrelevant on a flat machine and at full occupancy, where the two
+	// policies coincide.
+	Mapping string
+	// Placement picks the page→home-socket policy on a multi-socket
+	// Topology: interleaved (default) or first-touch. A miss that reaches
+	// memory on a remote-homed page pays the remote-memory latency.
+	Placement mem.Placement
+}
+
+// Thread-mapping policy names (Options.Mapping).
+const (
+	MapCompact = "compact"
+	MapScatter = "scatter"
+)
+
+// ParseMapping normalises a thread-mapping policy name ("" means compact).
+func ParseMapping(s string) (string, error) {
+	switch s {
+	case "", MapCompact:
+		return MapCompact, nil
+	case MapScatter:
+		return MapScatter, nil
+	default:
+		return "", fmt.Errorf("unknown thread mapping %q (want compact or scatter)", s)
+	}
+}
+
+// machineCores returns the core count of the machine a cell with the given
+// thread count runs on: the topology's total when one is set, else the
+// thread count itself (the flat machine).
+func (o Options) machineCores(threads int) int {
+	if o.Topology == (sim.Topology{}) {
+		return threads
+	}
+	return o.Topology.Sockets * o.Topology.CoresPerSocket
+}
+
+// threadCore returns the machine core hosting the given thread. Compact
+// fills sockets in core order (thread t → core t); scatter deals threads
+// round-robin across sockets (thread t → socket t mod S, next free core
+// there). Thread 0 lands on core 0 under both policies, so the barrier
+// core that resets statistics is mapping-independent.
+func (o Options) threadCore(thread int) int {
+	t := o.Topology
+	if t.Sockets <= 1 || o.Mapping != MapScatter {
+		return thread
+	}
+	return (thread%t.Sockets)*t.CoresPerSocket + thread/t.Sockets
 }
 
 // DefaultOptions returns the full-size evaluation parameters.
@@ -99,7 +158,15 @@ func QuickOptions() Options {
 // interference between cores. o contributes only host-side and ISA-mode
 // switches (DefaultISA, ReferenceScheduler), never sizes.
 func machineFor(cores int, o Options) *sim.Machine {
-	cfg := sim.DefaultConfig(cores)
+	cfg := sim.DefaultConfig(o.machineCores(cores))
+	if o.Topology != (sim.Topology{}) {
+		if cores > cfg.Cores {
+			panic(fmt.Sprintf("harness: topology %s has %d cores, cell needs %d threads",
+				o.Topology, cfg.Cores, cores))
+		}
+		cfg.Topology = o.Topology
+		cfg.Placement = o.Placement
+	}
 	cfg.DefaultISA = o.DefaultISA
 	cfg.ReferenceScheduler = o.ReferenceScheduler
 	cfg.WatchdogWindow = o.WatchdogWindow
@@ -247,11 +314,18 @@ type RunMetrics struct {
 	// percentiles, offered rate, goodput, shed counts) of a service cell;
 	// nil on every other run.
 	Service *ServiceRecord
+	// Topology is the machine shape the run executed on; the zero value
+	// means the flat machine (no NUMA block in reports or JSON).
+	Topology sim.Topology
+	// Placement and Mapping echo the NUMA knobs of a multi-socket run for
+	// report labelling; empty/zero on flat runs.
+	Placement mem.Placement
+	Mapping   string
 }
 
 // validateConfig rejects unknown schemes/workloads and bad core counts,
 // shared by RunOne and FinalStateHash.
-func validateConfig(scheme, workload string, cores int) error {
+func validateConfig(scheme, workload string, cores int, o Options) error {
 	if cores < 1 {
 		return fmt.Errorf("cores must be >= 1, got %d", cores)
 	}
@@ -274,6 +348,17 @@ func validateConfig(scheme, workload string, cores int) error {
 	default:
 		return fmt.Errorf("unknown workload %q", workload)
 	}
+	if _, err := ParseMapping(o.Mapping); err != nil {
+		return err
+	}
+	if o.Topology != (sim.Topology{}) {
+		if o.Topology.Sockets <= 0 || o.Topology.CoresPerSocket <= 0 {
+			return fmt.Errorf("topology %s needs positive sockets and cores per socket", o.Topology)
+		}
+		if total := o.machineCores(cores); cores > total {
+			return fmt.Errorf("topology %s has %d cores, run needs %d threads", o.Topology, total, cores)
+		}
+	}
 	return nil
 }
 
@@ -294,7 +379,7 @@ func runStructure(scheme, workload string, cores int, o Options) RunMetrics {
 // barrier; only steady-state cycles are reported, as a long benchmark run
 // on real hardware would.
 func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMetrics, error) {
-	if err := validateConfig(scheme, workload, cores); err != nil {
+	if err := validateConfig(scheme, workload, cores, o); err != nil {
 		return RunMetrics{}, err
 	}
 
@@ -331,10 +416,13 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 	starts := make([]uint64, cores)
 	ends := make([]uint64, cores)
 
-	progs := make([]sim.Program, cores)
-	for i := range progs {
+	// One program per thread, placed on its machine core by the mapping
+	// policy; on a flat machine threads and cores coincide and the slice has
+	// no gaps.
+	progs := make([]sim.Program, machine.Topology().Sockets*machine.Topology().CoresPerSocket)
+	for i := 0; i < cores; i++ {
 		id := i
-		progs[i] = func(c *sim.Ctx) {
+		progs[o.threadCore(i)] = func(c *sim.Ctx) {
 			th := sys.Thread(c)
 			wcfg := workloads.DriverConfig{Ops: perWarm, UpdatePercent: updatePct, Seed: o.Seed + 7777}
 			if err := workloads.RunThread(th, ds, wcfg); err != nil {
@@ -395,6 +483,11 @@ func RunOne(scheme, workload string, cores int, o Options, updatePct int) (RunMe
 		Trace:      tb,
 		TxnTrace:   xb,
 		Sched:      machine.Sched(),
+	}
+	if !machine.Topology().IsFlat() {
+		metrics.Topology = machine.Topology()
+		metrics.Placement = o.Placement
+		metrics.Mapping, _ = ParseMapping(o.Mapping)
 	}
 	// A core panic (contained at the grant boundary) or a tripped watchdog
 	// fails the run with its structured report rather than surfacing a raw

@@ -62,9 +62,10 @@ type diffOutcome struct {
 
 // runRandom executes one randomized program mix under the given scheduler
 // and snapshots every observable simulated result.
-func runRandom(t *testing.T, seed uint64, cores int, interruptEvery uint64, hookEvery uint64, reference bool) diffOutcome {
+func runRandom(t *testing.T, seed uint64, cores int, top sim.Topology, interruptEvery uint64, hookEvery uint64, reference bool) diffOutcome {
 	t.Helper()
 	cfg := sim.DefaultConfig(cores)
+	cfg.Topology = top
 	cfg.InterruptEvery = interruptEvery
 	cfg.ReferenceScheduler = reference
 	m := sim.New(cfg)
@@ -144,31 +145,71 @@ func TestSchedulerDifferential(t *testing.T) {
 				for _, hook := range []uint64{0, 97} {
 					name := fmt.Sprintf("seed%d/%dcore/ie%d/hook%d", seed, cores, ie, hook)
 					t.Run(name, func(t *testing.T) {
-						lease := runRandom(t, seed, cores, ie, hook, false)
-						ref := runRandom(t, seed, cores, ie, hook, true)
-						if lease.wall != ref.wall {
-							t.Errorf("wall cycles: lease %d, reference %d", lease.wall, ref.wall)
-						}
-						if !reflect.DeepEqual(lease.clocks, ref.clocks) {
-							t.Errorf("core clocks: lease %v, reference %v", lease.clocks, ref.clocks)
-						}
-						if lease.stats != ref.stats {
-							t.Errorf("stats diverge:\nlease:\n%s\nreference:\n%s", lease.stats, ref.stats)
-						}
-						if !bytes.Equal(lease.trace, ref.trace) {
-							t.Errorf("trace bytes diverge (%d vs %d bytes)", len(lease.trace), len(ref.trace))
-						}
-						if !reflect.DeepEqual(lease.memory, ref.memory) {
-							t.Errorf("final memory contents diverge")
-						}
-						if lease.grants != ref.grants {
-							t.Errorf("grants: lease %d, reference %d", lease.grants, ref.grants)
-						}
-						if lease.hookFired != ref.hookFired {
-							t.Errorf("fault hook firings: lease %d, reference %d", lease.hookFired, ref.hookFired)
-						}
+						lease := runRandom(t, seed, cores, sim.Topology{}, ie, hook, false)
+						ref := runRandom(t, seed, cores, sim.Topology{}, ie, hook, true)
+						diffCompare(t, lease, ref)
 					})
 				}
+			}
+		}
+	}
+}
+
+// diffCompare asserts two scheduler runs produced identical simulated
+// results on every observable axis.
+func diffCompare(t *testing.T, lease, ref diffOutcome) {
+	t.Helper()
+	if lease.wall != ref.wall {
+		t.Errorf("wall cycles: lease %d, reference %d", lease.wall, ref.wall)
+	}
+	if !reflect.DeepEqual(lease.clocks, ref.clocks) {
+		t.Errorf("core clocks: lease %v, reference %v", lease.clocks, ref.clocks)
+	}
+	if lease.stats != ref.stats {
+		t.Errorf("stats diverge:\nlease:\n%s\nreference:\n%s", lease.stats, ref.stats)
+	}
+	if !bytes.Equal(lease.trace, ref.trace) {
+		t.Errorf("trace bytes diverge (%d vs %d bytes)", len(lease.trace), len(ref.trace))
+	}
+	if !reflect.DeepEqual(lease.memory, ref.memory) {
+		t.Errorf("final memory contents diverge")
+	}
+	if lease.grants != ref.grants {
+		t.Errorf("grants: lease %d, reference %d", lease.grants, ref.grants)
+	}
+	if lease.hookFired != ref.hookFired {
+		t.Errorf("fault hook firings: lease %d, reference %d", lease.hookFired, ref.hookFired)
+	}
+}
+
+// TestSchedulerDifferentialScale extends the differential to the per-socket
+// lease scheduler at 64/128/256 cores. A multi-socket Topology routes Run
+// through runLeaseSockets (per-socket heaps plus a cross-socket clock
+// frontier); the reference scheduler on the same machine is still the
+// executable spec, so identical outcomes prove the frontier composition
+// selects exactly the global (clock, id) minimum on every grant.
+func TestSchedulerDifferentialScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-core differential is slow under -short")
+	}
+	cases := []struct {
+		cores int
+		top   sim.Topology
+	}{
+		{64, sim.Topology{Sockets: 2, CoresPerSocket: 32}},
+		{64, sim.Topology{Sockets: 4, CoresPerSocket: 16}},
+		{128, sim.Topology{Sockets: 8, CoresPerSocket: 16}},
+		{256, sim.Topology{Sockets: 4, CoresPerSocket: 64}},
+	}
+	for _, tc := range cases {
+		for seed := uint64(1); seed <= 2; seed++ {
+			for _, fault := range []struct{ ie, hook uint64 }{{0, 0}, {700, 97}} {
+				name := fmt.Sprintf("%s/seed%d/ie%d/hook%d", tc.top, seed, fault.ie, fault.hook)
+				t.Run(name, func(t *testing.T) {
+					lease := runRandom(t, seed, tc.cores, tc.top, fault.ie, fault.hook, false)
+					ref := runRandom(t, seed, tc.cores, tc.top, fault.ie, fault.hook, true)
+					diffCompare(t, lease, ref)
+				})
 			}
 		}
 	}

@@ -64,6 +64,16 @@ type Latencies struct {
 	// immediately preceding load, so every loadtestmark pays this on top.
 	TestMarkBranch uint64
 	RingTransition uint64 // cost of a simulated interrupt / OS transition
+
+	// Cross-socket costs; charged only on a multi-socket Topology, so a
+	// 1-socket machine's timing is untouched by their values. RemoteL2 is a
+	// miss served clean from another socket's L2; RemoteDirty is a miss
+	// served from a line a remote core held modified (the expensive
+	// two-hop transfer); RemoteMem is the penalty ON TOP of Mem when the
+	// missed page's home socket is not the accessor's.
+	RemoteL2    uint64
+	RemoteDirty uint64
+	RemoteMem   uint64
 }
 
 // DefaultLatencies returns the timing model used by all experiments. L1
@@ -84,7 +94,47 @@ func DefaultLatencies() Latencies {
 		RingTransition: 500,
 		HTMTrack:       3,
 		HTMSpecStore:   4,
+		RemoteL2:       50,
+		RemoteDirty:    90,
+		RemoteMem:      150,
 	}
+}
+
+// Topology shapes the machine into sockets: Sockets per-socket L2s with
+// CoresPerSocket hardware threads each. The zero value means a flat
+// 1-socket machine over all cores — the model every experiment used before
+// sockets existed, and still byte-identical to it.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+}
+
+// IsFlat reports whether the topology is the single-socket default.
+func (t Topology) IsFlat() bool { return t.Sockets <= 1 }
+
+func (t Topology) String() string {
+	return fmt.Sprintf("%dx%d", t.Sockets, t.CoresPerSocket)
+}
+
+// ParseTopology parses the CLI "SxC" form, e.g. "4x16" = 4 sockets × 16
+// cores.
+func ParseTopology(s string) (Topology, error) {
+	var t Topology
+	if n, err := fmt.Sscanf(s, "%dx%d", &t.Sockets, &t.CoresPerSocket); n != 2 || err != nil {
+		return Topology{}, fmt.Errorf("sim: topology %q is not SxC (e.g. 4x16)", s)
+	}
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 {
+		return Topology{}, fmt.Errorf("sim: topology %q needs positive sockets and cores per socket", s)
+	}
+	return t, nil
+}
+
+// resolve fills the zero value in for a machine with the given core count.
+func (t Topology) resolve(cores int) Topology {
+	if t.Sockets == 0 && t.CoresPerSocket == 0 {
+		return Topology{Sockets: 1, CoresPerSocket: cores}
+	}
+	return t
 }
 
 // Config describes a machine.
@@ -93,6 +143,16 @@ type Config struct {
 	L1    cache.Config
 	L2    cache.Config
 	Lat   Latencies
+
+	// Topology splits the cores over sockets, each with its own shared L2
+	// and directory. The zero value is the flat 1-socket machine. Sockets ×
+	// CoresPerSocket must equal Cores.
+	Topology Topology
+
+	// Placement picks how memory pages are homed on sockets (first-touch
+	// vs. interleaved); it matters only on a multi-socket Topology, where a
+	// miss to a remote-homed page pays Lat.RemoteMem on top of Lat.Mem.
+	Placement mem.Placement
 
 	// DefaultISA selects the Section 3.3 default implementation of the
 	// mark-bit instructions (no marking; loadsetmark and resetmarkall
@@ -167,12 +227,38 @@ func DefaultConfig(cores int) Config {
 
 const defaultMarkCounterMax = 1<<16 - 1
 
+// Validate checks the configuration without building a machine, so
+// callers (the CLI's -topology flag, the harness) can surface a clear
+// error instead of a construction panic: the topology must factor the core
+// count, and both cache levels must have power-of-two geometry.
+func (cfg Config) Validate() error {
+	if cfg.Cores <= 0 {
+		return fmt.Errorf("sim: Config.Cores must be positive, got %d", cfg.Cores)
+	}
+	t := cfg.Topology.resolve(cfg.Cores)
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 {
+		return fmt.Errorf("sim: topology %s needs positive sockets and cores per socket", t)
+	}
+	if t.Sockets*t.CoresPerSocket != cfg.Cores {
+		return fmt.Errorf("sim: topology %s covers %d cores, machine has %d",
+			t, t.Sockets*t.CoresPerSocket, cfg.Cores)
+	}
+	return cache.HierarchyConfig{
+		Cores:          cfg.Cores,
+		ThreadsPerCore: cfg.ThreadsPerCore,
+		Sockets:        t.Sockets,
+		L1:             cfg.L1,
+		L2:             cfg.L2,
+	}.Validate()
+}
+
 // Program is the code one core runs.
 type Program func(*Ctx)
 
 // Machine is one simulated multi-core system.
 type Machine struct {
 	cfg    Config
+	top    Topology // resolved (never zero): cfg.Topology or {1, Cores}
 	Mem    *mem.Memory
 	Caches *cache.Hierarchy
 	Stats  *stats.Machine
@@ -256,18 +342,21 @@ type event struct {
 // the paper's "all the data structures were populated before the
 // experimental run".
 func New(cfg Config) *Machine {
-	if cfg.Cores <= 0 {
-		panic("sim: Config.Cores must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.MarkCounterMax == 0 {
 		cfg.MarkCounterMax = defaultMarkCounterMax
 	}
+	top := cfg.Topology.resolve(cfg.Cores)
 	m := &Machine{
 		cfg: cfg,
+		top: top,
 		Mem: mem.New(),
 		Caches: cache.New(cache.HierarchyConfig{
 			Cores:          cfg.Cores,
 			ThreadsPerCore: cfg.ThreadsPerCore,
+			Sockets:        top.Sockets,
 			L1:             cfg.L1,
 			L2:             cfg.L2,
 			Prefetch:       cfg.Prefetch,
@@ -276,6 +365,7 @@ func New(cfg Config) *Machine {
 		Telem:  telemetry.NewMachine(cfg.Cores),
 		events: make(chan event),
 	}
+	m.Mem.SetPlacement(top.Sockets, cfg.Placement)
 	m.watch = cfg.WatchdogWindow > 0 || cfg.CycleBudget > 0 || cfg.StallTimeout > 0
 	m.doneCores = make([]bool, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
@@ -305,6 +395,10 @@ func (d markDropper) LineDropped(core int, lineAddr uint64, marks cache.MarkMask
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine's resolved topology ({1, Cores} when the
+// configuration left it zero).
+func (m *Machine) Topology() Topology { return m.top }
 
 // Core returns core i's context (for registering listeners or inspecting
 // clocks after a run).
@@ -365,9 +459,12 @@ func (m *Machine) Run(progs ...Program) uint64 {
 		defer close(m.stopMon)
 	}
 
-	if m.cfg.ReferenceScheduler {
+	switch {
+	case m.cfg.ReferenceScheduler:
 		m.runReference(running, active)
-	} else {
+	case m.top.Sockets > 1:
+		m.runLeaseSockets(running, active)
+	default:
 		m.runLease(running, active)
 	}
 
@@ -452,6 +549,76 @@ func (m *Machine) runLease(running int, active []bool) {
 			running--
 		} else {
 			h.push(heapEntry{clock: m.cores[ev.core].clock, id: ev.core})
+		}
+	}
+}
+
+// runLeaseSockets is the grant-lease scheduler for multi-socket machines:
+// one min-heap per socket's lease group plus a cross-group clock frontier
+// — an array holding each group's (clock, id) minimum. A grant picks the
+// frontier's (clock, id)-smallest socket, pops that socket's heap, and
+// computes the horizon from the remaining frontier, so heap operations
+// stay O(log CoresPerSocket) and the cross-socket step is a scan of
+// Sockets entries. Because every per-socket minimum is the
+// (clock, id)-least of its group and the comparator is total, the frontier
+// minimum IS the global minimum — the grant order is exactly runLease's,
+// which the randomized scheduler differential proves at 64–256 cores.
+func (m *Machine) runLeaseSockets(running int, active []bool) {
+	nsock := m.top.Sockets
+	cps := m.top.CoresPerSocket
+	idle := heapEntry{clock: ^uint64(0), id: int(^uint(0) >> 1)}
+	groups := make([]*schedHeap, nsock)
+	frontier := make([]heapEntry, nsock) // mirror of groups[s].min(); idle when empty
+	for s := range groups {
+		groups[s] = newSchedHeap(cps)
+		frontier[s] = idle
+	}
+	for i := 0; i < m.cfg.Cores; i++ {
+		if active[i] {
+			groups[i/cps].push(heapEntry{clock: m.cores[i].clock, id: i})
+		}
+	}
+	for s := range groups {
+		if groups[s].len() > 0 {
+			frontier[s] = groups[s].min()
+		}
+	}
+	for running > 0 {
+		best := 0
+		for s := 1; s < nsock; s++ {
+			if frontier[s].less(frontier[best]) {
+				best = s
+			}
+		}
+		e := groups[best].pop()
+		if groups[best].len() > 0 {
+			frontier[best] = groups[best].min()
+		} else {
+			frontier[best] = idle
+		}
+		c := m.cores[e.id]
+		horizon := idle
+		for s := 0; s < nsock; s++ {
+			if frontier[s].less(horizon) {
+				horizon = frontier[s]
+			}
+		}
+		c.horizon = horizon.clock // idle.clock == ^0: alone, run to completion
+		m.sched.Leases++
+		if !m.grantTo(c) {
+			return // host deadlock: no core can accept a grant
+		}
+		ev, ok := m.awaitEvent(e.id)
+		if !ok {
+			return // host deadlock: the granted core never completed its op
+		}
+		if ev.finished {
+			m.noteFinished(ev.core)
+			running--
+		} else {
+			s := ev.core / cps
+			groups[s].push(heapEntry{clock: m.cores[ev.core].clock, id: ev.core})
+			frontier[s] = groups[s].min()
 		}
 	}
 }
@@ -708,14 +875,37 @@ func (c *Ctx) RecentLine(sel uint64) (line uint64, ok bool) {
 	return c.recent[sel%uint64(n)], true
 }
 
-func (c *Ctx) accessCost(res cache.AccessResult) uint64 {
+func (c *Ctx) accessCost(addr uint64, res cache.AccessResult) uint64 {
+	return c.m.chargeAccess(c.id, addr, res)
+}
+
+// chargeAccess converts an access outcome into cycles. On a multi-socket
+// machine a miss served by another socket pays the cross-socket latency,
+// and a miss that reaches memory consults the placement policy: a
+// remote-homed page adds RemoteMem on top of Mem (and counts a
+// cross-socket miss). A 1-socket machine never sets the remote flags and
+// skips the placement branch entirely, so its costs are exactly the flat
+// model's.
+func (m *Machine) chargeAccess(core int, addr uint64, res cache.AccessResult) uint64 {
+	lat := &m.cfg.Lat
 	switch {
 	case res.L1Hit:
-		return c.m.cfg.Lat.L1Hit
+		return lat.L1Hit
 	case res.L2Hit:
-		return c.m.cfg.Lat.L2Hit
+		return lat.L2Hit
+	case res.RemoteDirty:
+		return lat.RemoteDirty
+	case res.RemoteL2:
+		return lat.RemoteL2
 	default:
-		return c.m.cfg.Lat.Mem
+		if m.top.Sockets > 1 {
+			sock := m.Caches.SocketOf(core)
+			if m.Mem.HomeSocket(addr, sock) != sock {
+				m.Caches.NoteRemoteMemory(core)
+				return lat.Mem + lat.RemoteMem
+			}
+		}
+		return lat.Mem
 	}
 }
 
@@ -735,7 +925,7 @@ func (c *Ctx) Load(addr uint64) uint64 {
 	c.noteAccess(addr)
 	res := c.m.Caches.Access(c.id, addr, false)
 	v := c.m.Mem.Load(addr)
-	c.charge(c.accessCost(res))
+	c.charge(c.accessCost(addr, res))
 	c.release()
 	return v
 }
@@ -746,7 +936,7 @@ func (c *Ctx) Store(addr, val uint64) {
 	c.noteAccess(addr)
 	res := c.m.Caches.Access(c.id, addr, true)
 	c.m.Mem.Store(addr, val)
-	c.charge(c.accessCost(res))
+	c.charge(c.accessCost(addr, res))
 	c.release()
 }
 
@@ -761,7 +951,7 @@ func (c *Ctx) CAS(addr, old, new uint64) (bool, uint64) {
 	if ok {
 		c.m.Mem.Store(addr, new)
 	}
-	c.charge(c.accessCost(res) + c.m.cfg.Lat.CAS)
+	c.charge(c.accessCost(addr, res) + c.m.cfg.Lat.CAS)
 	c.release()
 	return ok, cur
 }
@@ -796,14 +986,7 @@ func (c *Ctx) Step(f func(m *Machine) uint64) {
 // a helper for Step-based composite operations.
 func (m *Machine) AccessCost(core int, addr uint64, write bool) uint64 {
 	res := m.Caches.Access(core, addr, write)
-	switch {
-	case res.L1Hit:
-		return m.cfg.Lat.L1Hit
-	case res.L2Hit:
-		return m.cfg.Lat.L2Hit
-	default:
-		return m.cfg.Lat.Mem
-	}
+	return m.chargeAccess(core, addr, res)
 }
 
 // --- The six proposed instructions (§3.1) ---------------------------------
@@ -826,7 +1009,7 @@ func (c *Ctx) LoadSetMarkP(plane int, addr, gran uint64) uint64 {
 	} else {
 		c.m.Caches.SetMark(c.id, plane, addr, gran)
 	}
-	c.charge(c.accessCost(res) + c.m.cfg.Lat.StoreQ)
+	c.charge(c.accessCost(addr, res) + c.m.cfg.Lat.StoreQ)
 	c.release()
 	return v
 }
@@ -843,7 +1026,7 @@ func (c *Ctx) LoadResetMarkP(plane int, addr, gran uint64) uint64 {
 	if !c.m.cfg.DefaultISA {
 		c.m.Caches.ClearMark(c.id, plane, addr, gran)
 	}
-	c.charge(c.accessCost(res))
+	c.charge(c.accessCost(addr, res))
 	c.release()
 	return v
 }
@@ -865,7 +1048,7 @@ func (c *Ctx) LoadTestMarkP(plane int, addr, gran uint64) (uint64, bool) {
 	}
 	res := c.m.Caches.Access(c.id, addr, false)
 	v := c.m.Mem.Load(addr)
-	c.charge(c.accessCost(res) + c.m.cfg.Lat.TestMarkBranch)
+	c.charge(c.accessCost(addr, res) + c.m.cfg.Lat.TestMarkBranch)
 	c.release()
 	return v, marked
 }
