@@ -37,6 +37,21 @@
 //	                          # window (0 disables either); a trip fails the
 //	                          # cell with a structured diagnosis instead of
 //	                          # hanging the harness
+//	hastm-bench -backend native -chaos stall=200,abort=150,wakedelay=100,seed=3
+//	                          # native chaos storm: every structure runs the
+//	                          # content-commutative differential mix on host
+//	                          # goroutines while the chaos plane injects
+//	                          # stalls, preemptions, spurious commit aborts
+//	                          # and delayed wakeups at commit-protocol
+//	                          # points, with the host watchdogs scanning;
+//	                          # each cell oracle-replays its committed ops
+//	                          # and must fingerprint-match a chaos-free twin
+//	                          # (exit 1 on any violation). The planned
+//	                          # schedule hash is deterministic per spec.
+//	                          # On the sim backend -chaos maps onto the
+//	                          # simulator fault plane (stall→suspend,
+//	                          # preempt→evict, wakedelay→snoop,
+//	                          # abort→htmabort) and runs the faultstorm
 //	hastm-bench -backend native
 //	                          # run the host-native TL2 backend instead of
 //	                          # the simulator: every workload swept over
@@ -79,6 +94,7 @@ import (
 	"hastm.dev/hastm/internal/faults"
 	"hastm.dev/hastm/internal/harness"
 	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/native"
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/telemetry"
 )
@@ -182,6 +198,95 @@ func runFaultstorm(spec faults.Spec, o harness.Options, workers int, progress bo
 	fmt.Printf("\nfaultstorm: %d cells, %d failed\n", len(reports), failures)
 	fmt.Fprintf(os.Stderr, "hastm-bench: faultstorm %d cells in %v (-j %d)\n",
 		len(reports), elapsed.Round(time.Millisecond), workers)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// chaosThreads is the goroutine count of every -chaos storm cell: enough
+// oversubscription pressure for the injections to land in real conflict
+// windows, small enough that the suite stays quick under -race.
+const chaosThreads = 8
+
+// chaosSimCyclesPerTxn converts the native chaos spec's per-transaction
+// injection periods onto the simulator fault plane's per-cycle axis: a
+// structure transaction costs a few hundred simulated cycles, so one
+// native "every N transactions" period becomes N×512 cycles — the same
+// order-of-magnitude cadence on the other backend.
+const chaosSimCyclesPerTxn = 512
+
+// chaosToFaults maps a native chaos spec onto the simulator fault plane:
+// stall→suspend (a core stops mid-transaction), preempt→evict (its lines
+// are stolen), wakedelay→snoop (watch lines are probed), abort→htmabort,
+// seed→seed.
+func chaosToFaults(c native.ChaosSpec) faults.Spec {
+	return faults.Spec{
+		SuspendEvery:  c.Stall * chaosSimCyclesPerTxn,
+		EvictEvery:    c.Preempt * chaosSimCyclesPerTxn,
+		SnoopEvery:    c.WakeDelay * chaosSimCyclesPerTxn,
+		HTMAbortEvery: c.Abort * chaosSimCyclesPerTxn,
+		Seed:          c.Seed,
+	}
+}
+
+// runChaosStorm runs the native chaos-storm suite and prints one verdict
+// row per structure cell. Cells run serially (each uses chaosThreads
+// goroutines plus its chaos-free twin). The schedule-hash column is
+// deterministic for a given spec — CI runs the storm twice and asserts the
+// hashes match byte-for-byte — while committed/injected counts are
+// host-dependent. Exit 1 if any cell failed its invariants, the oracle, or
+// the twin fingerprint comparison.
+func runChaosStorm(spec native.ChaosSpec, o harness.Options, jsonF, progress bool) int {
+	plan, reports := harness.ChaosStormPlan(spec, o, chaosThreads)
+	cfg := harness.ExecConfig{Workers: 1}
+	if progress {
+		cfg.ProgressSync = telemetry.NewSyncWriter(os.Stderr)
+	}
+	start := time.Now()
+	figs := harness.Execute([]*harness.Plan{plan}, cfg)
+	elapsed := time.Since(start)
+
+	if jsonF {
+		var nonNil []*harness.Report
+		for _, r := range figs {
+			if r != nil {
+				nonNil = append(nonNil, r)
+			}
+		}
+		doc := harness.NewBenchJSON(o, 1, []*harness.Plan{plan}, nonNil, elapsed)
+		if err := doc.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hastm-bench: json: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Printf("chaosstorm: native tl2, %s (threads %d, ops %d, seed %d)\n\n",
+			spec, chaosThreads, o.Ops, o.Seed)
+		fmt.Printf("%-18s %9s %9s %-36s %16s  %s\n",
+			"cell", "committed", "planned", "injected", "schedule-hash", "verdict")
+		for _, rep := range reports {
+			sched, hash, injected := 0, "-", "none"
+			if rep.Chaos != nil {
+				sched = rep.Chaos.ScheduleLen
+				hash = rep.Chaos.ScheduleHash
+				injected = rep.Chaos.InjectedString()
+			}
+			fmt.Printf("%-18s %9d %9d %-36s %16s  %s\n",
+				"native/"+rep.Workload, rep.Committed, sched, injected, hash, rep.Verdict())
+		}
+	}
+	failures := 0
+	for _, rep := range reports {
+		if rep.Err != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "hastm-bench: chaos cell native/%s FAILED: %s\n", rep.Workload, rep.Err)
+		}
+	}
+	if !jsonF {
+		fmt.Printf("\nchaosstorm: %d cells, %d failed\n", len(reports), failures)
+	}
+	fmt.Fprintf(os.Stderr, "hastm-bench: chaosstorm %d cells in %v (cells serial, %d goroutines each)\n",
+		len(reports), elapsed.Round(time.Millisecond), chaosThreads)
 	if failures > 0 {
 		return 1
 	}
@@ -362,6 +467,7 @@ func realMain() int {
 		traceMax = flag.Int("trace-max", telemetry.DefaultTraceLimit, "per-cell transaction-event cap for -trace")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		faultsF  = flag.String("faults", "", "run the fault-injection conformance sweep with this spec (e.g. suspend=900,evict=600,seed=3)")
+		chaosF   = flag.String("chaos", "", "chaos spec (e.g. stall=200,abort=150,wakedelay=100,seed=3): with -backend native, run the chaos-storm suite (or arm the plane on -service cells); on sim, map onto the fault plane and run the faultstorm")
 		svcF     = flag.Bool("service", false, "run the open-loop service suite instead of figures (latency vs load and skew sweeps; honours -backend)")
 		advF     = flag.String("adversarial", "", "run the progress-guarantee suite instead of figures: all, storm or starve")
 		noLadder = flag.Bool("no-ladder", false, "disarm the escalation ladder in the -adversarial suite (the watchdog must then trip)")
@@ -471,12 +577,23 @@ func realMain() int {
 		return 2
 	}
 	o.Placement = placement
+	chaosSpec, err := native.ParseChaosSpec(*chaosF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hastm-bench: -chaos: %v\n", err)
+		return 2
+	}
+	o.Chaos = chaosSpec
 
 	switch *backendF {
 	case "sim":
 	case "native":
 		if *svcF {
+			// o.Chaos flows into the native service cells: the degradation
+			// ladder and watchdogs run with the plane armed.
 			return runService(o, true, *workers, *progress, *jsonF, *csvF, *traceF)
+		}
+		if chaosSpec.Enabled() {
+			return runChaosStorm(chaosSpec, o, *jsonF, *progress)
 		}
 		return runNative(o, *progress, *jsonF, *csvF)
 	default:
@@ -495,6 +612,11 @@ func realMain() int {
 			return 2
 		}
 		return runFaultstorm(spec, o, *workers, *progress)
+	}
+	if chaosSpec.Enabled() {
+		// Simulator backend: reinterpret the chaos spec on the simulator's
+		// own fault plane and run the existing conformance storm.
+		return runFaultstorm(chaosToFaults(chaosSpec), o, *workers, *progress)
 	}
 	if *advF != "" {
 		return runAdversarial(*advF, !*noLadder, o, *workers, *progress)

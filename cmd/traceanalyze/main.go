@@ -172,13 +172,16 @@ func (s *strictChecker) observe(ev *telemetry.TxnEvent, path string, lineNo int)
 					path, lineNo, at, ev.Cell, ev.Core))
 		}
 	case telemetry.EvMode, telemetry.EvEscalate, telemetry.EvSerialize,
-		telemetry.EvUpgrade:
+		telemetry.EvUpgrade, telemetry.EvDegrade:
 		// Informational; not part of the attempt life-cycle. (Escalation
 		// is announced before the irrevocable attempt begins; serialize
 		// announces that admission control forced the next transaction
 		// through the irrevocable ladder — its begin follows; upgrade
 		// announces an MVCC snapshot attempt switching to writer mode
-		// mid-attempt — its own commit or abort still terminates it.)
+		// mid-attempt — its own commit or abort still terminates it;
+		// degrade announces a service core's graceful-degradation ladder
+		// transition between requests — the shed requests themselves appear
+		// as shed events.)
 	}
 }
 
@@ -245,7 +248,7 @@ func analyzeJSONL(path string, top int, strict bool) error {
 			telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode,
 			telemetry.EvError, telemetry.EvEscalate, telemetry.EvIrrevocable,
 			telemetry.EvShed, telemetry.EvSerialize, telemetry.EvUpgrade,
-			telemetry.EvWriterRestart:
+			telemetry.EvWriterRestart, telemetry.EvDegrade:
 		default:
 			return fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, ev.Kind)
 		}
@@ -307,7 +310,8 @@ func analyzeJSONL(path string, top int, strict bool) error {
 	for _, k := range []string{telemetry.EvBegin, telemetry.EvCommit, telemetry.EvAbort,
 		telemetry.EvRetry, telemetry.EvFallback, telemetry.EvMode, telemetry.EvError,
 		telemetry.EvEscalate, telemetry.EvIrrevocable, telemetry.EvShed,
-		telemetry.EvSerialize, telemetry.EvUpgrade, telemetry.EvWriterRestart} {
+		telemetry.EvSerialize, telemetry.EvUpgrade, telemetry.EvWriterRestart,
+		telemetry.EvDegrade} {
 		if n := kinds[k]; n > 0 {
 			fmt.Printf("  %-10s %8d\n", k, n)
 		}

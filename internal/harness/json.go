@@ -48,7 +48,15 @@ import (
 // they ran under plus per-socket traffic counters (cross_socket_misses,
 // remote_dirty_fetches, directory_invalidations) and their totals. Flat
 // cells carry no numa block and are unchanged from /7 cell-for-cell.
-const BenchSchema = "hastm-bench/8"
+// hastm-bench/9: the native chaos plane and the service degradation ladder
+// land. Native cells run under `-chaos` gain a chaos block (spec, the
+// deterministic planned-schedule hash as a 16-hex-digit string, per-kind
+// planned/fired injection counts, and the watchdog violation if one
+// tripped); the telemetry block gains chaos_injected, wakeup_timeouts and
+// contained_faults; the service block gains the graceful-degradation
+// fields (shed_scans, shed_transfers, degrade_engaged, degrade_recovered,
+// degrade_level_max). Cells without chaos armed carry no chaos block.
+const BenchSchema = "hastm-bench/9"
 
 // SchedRecord is the host-side scheduler-efficiency block of a cell: how
 // many architectural ops the simulator granted and how many scheduler
@@ -109,6 +117,9 @@ type CellRecord struct {
 	Service *ServiceRecord `json:"service,omitempty"`
 	// NUMA is the multi-socket traffic block; absent on flat-machine cells.
 	NUMA *NUMARecord `json:"numa,omitempty"`
+	// Chaos is the native fault-plane block; absent unless the cell ran on
+	// the native backend with -chaos armed.
+	Chaos *ChaosRecord `json:"chaos,omitempty"`
 	// Error is the cell's contained failure report ("" = the run
 	// succeeded): a recovered core panic or a progress-watchdog violation.
 	Error string `json:"error,omitempty"`
@@ -177,6 +188,7 @@ func NewBenchJSON(o Options, workers int, plans []*Plan, reports []*Report, elap
 			}
 			rec.Service = c.Metrics().Service
 			rec.NUMA = numaRecord(c.Metrics())
+			rec.Chaos = c.Metrics().Chaos
 			if sc := c.Metrics().Sched; sc.Grants > 0 {
 				rec.Sched = &SchedRecord{
 					Grants:          sc.Grants,

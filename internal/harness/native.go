@@ -47,7 +47,15 @@ func RunOneNative(workload string, threads int, o Options, updatePct int) (RunMe
 	sys := native.New(m, native.Config{
 		TM:      tm.Config{Progress: tm.Progress{RetryBudget: o.RetryBudget}},
 		Threads: threads,
+		Chaos:   o.Chaos,
 	})
+	// Pre-create every thread handle before any goroutine (the watchdog
+	// included) runs: the watchdog scans the handle table, and lazy
+	// creation inside the workers would race with it.
+	for g := 0; g < threads; g++ {
+		sys.Thread(g)
+	}
+	sys.StartWatchdog()
 
 	warm := o.Warmup
 	if warm == 0 {
@@ -92,12 +100,19 @@ func RunOneNative(workload string, threads int, o Options, updatePct int) (RunMe
 	close(goCh)
 	wg.Wait()
 	hostNS := time.Since(start).Nanoseconds()
+	sys.StopWatchdog()
 
 	metrics := RunMetrics{
 		Stats:   sys.Stats(),
 		Telem:   sys.Telemetry(),
 		HostNS:  hostNS,
 		Backend: sys.Name(),
+		Chaos:   chaosRecord(sys.ChaosReport(), sys.CheckHealth()),
+	}
+	// A watchdog trip outranks the per-thread errors it caused: report the
+	// structured violation, not the unwound transactions' view of it.
+	if err := sys.CheckHealth(); err != nil {
+		return metrics, fmt.Errorf("native %s: %w", workload, err)
 	}
 	for id, err := range errs {
 		if err != nil {

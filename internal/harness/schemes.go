@@ -10,6 +10,7 @@ import (
 	"hastm.dev/hastm/internal/lazystm"
 	"hastm.dev/hastm/internal/locksync"
 	"hastm.dev/hastm/internal/mem"
+	"hastm.dev/hastm/internal/native"
 	"hastm.dev/hastm/internal/sim"
 	"hastm.dev/hastm/internal/stats"
 	"hastm.dev/hastm/internal/stm"
@@ -87,6 +88,12 @@ type Options struct {
 	// Topology: interleaved (default) or first-touch. A miss that reaches
 	// memory on a remote-homed page pays the remote-memory latency.
 	Placement mem.Placement
+	// Chaos arms the native backend's fault-injection plane on native
+	// cells: seeded stalls, preemption bursts, spurious commit aborts and
+	// delayed wakeups at named commit-protocol points (the -chaos flag).
+	// The zero value leaves the plane off. Simulator cells ignore it — the
+	// CLI maps -chaos onto the simulator's own fault plane instead.
+	Chaos native.ChaosSpec
 }
 
 // Thread-mapping policy names (Options.Mapping).
@@ -321,6 +328,10 @@ type RunMetrics struct {
 	// report labelling; empty/zero on flat runs.
 	Placement mem.Placement
 	Mapping   string
+	// Chaos is the native chaos plane's per-run report (spec, deterministic
+	// schedule hash, planned/fired injection counts, watchdog violation if
+	// any); nil unless the run was native with the plane armed.
+	Chaos *ChaosRecord
 }
 
 // validateConfig rejects unknown schemes/workloads and bad core counts,

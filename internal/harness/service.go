@@ -52,17 +52,40 @@ type ServiceRecord struct {
 	// Serialized counts requests routed through the irrevocable ladder by
 	// the hot-key policy.
 	Serialized uint64 `json:"serialized"`
+	// Degradation-ladder accounting: class sheds (included in Shed),
+	// ladder transitions, and the deepest level any core engaged.
+	ShedScans        uint64 `json:"shed_scans"`
+	ShedTransfers    uint64 `json:"shed_transfers"`
+	DegradeEngaged   uint64 `json:"degrade_engaged"`
+	DegradeRecovered uint64 `json:"degrade_recovered"`
+	DegradeLevelMax  int    `json:"degrade_level_max"`
 }
 
 // DefaultAdmission is the service figure's admission-control setting:
 // shed requests stuck in queue past the delay budget, serialize writes to
-// keys showing a conflict storm.
+// keys showing a conflict storm. The two queue-delay budgets are per
+// backend (simulated cycles vs host nanoseconds) and deliberately carry
+// the same number each: 20k cycles and 20µs are both "a few transactions
+// deep" on their respective axes.
 func DefaultAdmission() service.AdmissionConfig {
 	return service.AdmissionConfig{
-		ShedAfter:    20_000, // cycles (sim) / ns (native) of queueing delay
-		HotThreshold: 6,
-		HotWindow:    64,
-		Serialize:    true,
+		ShedAfterCycles: 20_000, // simulated cycles of queueing delay (sim backend)
+		ShedAfterNS:     20_000, // host nanoseconds of queueing delay (native backend)
+		HotThreshold:    6,
+		HotWindow:       64,
+		Serialize:       true,
+	}
+}
+
+// DefaultDegrade is the service figure's graceful-degradation setting.
+// The sim budget equals the CI SLO gate's p999 bound at the moderate-load
+// operating point, so a healthy cell never engages the ladder and the
+// overloaded cells shed scans before transfers; the native budget is the
+// same posture on the host-nanosecond axis.
+func DefaultDegrade() service.DegradeConfig {
+	return service.DegradeConfig{
+		SLOCycles: 16_384,    // p99 sojourn budget, simulated cycles
+		SLONS:     1_000_000, // p99 sojourn budget, host ns (1ms)
 	}
 }
 
@@ -103,6 +126,7 @@ func ServiceConfig(o Options, cores int, meanGap uint64, zipfS float64, adm serv
 		MeanGap:   meanGap,
 		Seed:      o.Seed,
 		Admission: adm,
+		Degrade:   DefaultDegrade(),
 	}
 }
 
@@ -111,15 +135,20 @@ func ServiceConfig(o Options, cores int, meanGap uint64, zipfS float64, adm serv
 // seconds on native.
 func serviceRecord(cm *service.CellMetrics, rate func(count uint64) float64) *ServiceRecord {
 	return &ServiceRecord{
-		OfferedRate: rate(cm.Offered),
-		Goodput:     rate(cm.Committed),
-		LatencyP50:  cm.Hist.Percentile(0.50),
-		LatencyP99:  cm.Hist.Percentile(0.99),
-		LatencyP999: cm.Hist.Percentile(0.999),
-		Offered:     cm.Offered,
-		Committed:   cm.Committed,
-		Shed:        cm.Shed,
-		Serialized:  cm.Serialized,
+		OfferedRate:      rate(cm.Offered),
+		Goodput:          rate(cm.Committed),
+		LatencyP50:       cm.Hist.Percentile(0.50),
+		LatencyP99:       cm.Hist.Percentile(0.99),
+		LatencyP999:      cm.Hist.Percentile(0.999),
+		Offered:          cm.Offered,
+		Committed:        cm.Committed,
+		Shed:             cm.Shed,
+		Serialized:       cm.Serialized,
+		ShedScans:        cm.ShedScans,
+		ShedTransfers:    cm.ShedTransfers,
+		DegradeEngaged:   cm.DegradeEngaged,
+		DegradeRecovered: cm.DegradeRecovered,
+		DegradeLevelMax:  cm.MaxDegradeLevel,
 	}
 }
 
@@ -268,7 +297,14 @@ func RunOneServiceNative(threads int, sc service.Config, o Options) (RunMetrics,
 	sys := native.New(m, native.Config{
 		TM:      tm.Config{Progress: tm.Progress{RetryBudget: rb}},
 		Threads: threads,
+		Chaos:   o.Chaos,
 	})
+	// Pre-create the handles so the watchdog's handle-table scan never
+	// races with lazy creation inside the workers.
+	for g := 0; g < threads; g++ {
+		sys.Thread(g)
+	}
+	sys.StartWatchdog()
 
 	var ready, wg sync.WaitGroup
 	goCh := make(chan struct{})
@@ -298,6 +334,7 @@ func RunOneServiceNative(threads int, sc service.Config, o Options) (RunMetrics,
 	close(goCh)
 	wg.Wait()
 	hostNS := time.Since(start).Nanoseconds()
+	sys.StopWatchdog()
 
 	merged := &service.CellMetrics{}
 	for i := range perCore {
@@ -308,12 +345,16 @@ func RunOneServiceNative(threads int, sc service.Config, o Options) (RunMetrics,
 		Telem:   sys.Telemetry(),
 		HostNS:  hostNS,
 		Backend: sys.Name(),
+		Chaos:   chaosRecord(sys.ChaosReport(), sys.CheckHealth()),
 		Service: serviceRecord(merged, func(n uint64) float64 {
 			if hostNS <= 0 {
 				return 0
 			}
 			return float64(n) / (float64(hostNS) / 1e9)
 		}),
+	}
+	if err := sys.CheckHealth(); err != nil {
+		return metrics, fmt.Errorf("native service: %w", err)
 	}
 	for id, err := range errs {
 		if err != nil {

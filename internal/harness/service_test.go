@@ -75,7 +75,7 @@ func TestServiceDeterministic(t *testing.T) {
 // ladder — all without breaking the oracle replay.
 func TestServiceAdmissionEngages(t *testing.T) {
 	o := quick()
-	adm := service.AdmissionConfig{ShedAfter: 500, HotThreshold: 1, HotWindow: 32, Serialize: true}
+	adm := service.AdmissionConfig{ShedAfterCycles: 500, HotThreshold: 1, HotWindow: 32, Serialize: true}
 	sc := ServiceConfig(o, ServiceCores, 64, 1.5, adm)
 	m, err := RunOneService(ServiceCores, sc, o)
 	if err != nil {
@@ -92,11 +92,12 @@ func TestServiceAdmissionEngages(t *testing.T) {
 	}
 }
 
-// Shedding disabled (all-zero admission config) must mean zero shed and
-// zero serialized no matter the load.
+// Shedding disabled (all-zero admission config, ladder off) must mean
+// zero shed and zero serialized no matter the load.
 func TestServiceAdmissionDisabled(t *testing.T) {
 	o := quick()
 	sc := ServiceConfig(o, ServiceCores, 64, 1.5, service.AdmissionConfig{})
+	sc.Degrade = service.DegradeConfig{}
 	m, err := RunOneService(ServiceCores, sc, o)
 	if err != nil {
 		t.Fatal(err)

@@ -118,3 +118,66 @@ func BenchmarkNativeHotCounter(b *testing.B) {
 		})
 	}
 }
+
+// benchSink defeats dead-code elimination in the jitter benchmark.
+var benchSink uint64
+
+// BenchmarkHostBackoffJitter is the per-step cost of the seeded xorshift64
+// stream that jitters hostBackoff's sleep window — it sits on the retry
+// path of every conflicted transaction, so it must stay allocation-free
+// and a few nanoseconds.
+func BenchmarkHostBackoffJitter(b *testing.B) {
+	sys := New(mem.New(), Config{Threads: 1})
+	th := sys.Thread(0).(*Thread)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += th.backoffRand()
+	}
+	benchSink = sink
+}
+
+// BenchmarkNativeChaosOverhead bounds what arming the chaos plane costs a
+// transaction that is never actually injected: "off" is the plane
+// disabled, "armed" draws a plan at every transaction begin but at a
+// period so long no injection ever fires, so the difference is pure
+// plan-draw bookkeeping on the hot path.
+func BenchmarkNativeChaosOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		spec ChaosSpec
+	}{
+		{"off", ChaosSpec{}},
+		{"armed", ChaosSpec{Stall: 1 << 40, Preempt: 1 << 40, Abort: 1 << 40, WakeDelay: 1 << 40, Seed: 1}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mem.New()
+			ctr := m.Alloc(mem.WordSize, mem.LineSize)
+			sys := New(m, Config{Threads: 1, Chaos: mode.spec})
+			runBenchThreads(b, sys, 1, func(th tm.Thread, id int) error {
+				return th.Atomic(func(tx tm.Txn) error {
+					tx.Store(ctr, tx.Load(ctr)+1)
+					return nil
+				})
+			})
+		})
+	}
+}
+
+// BenchmarkNativeSpuriousAbortRetry measures the full injected-abort
+// round trip — plan draw, mid-commit abort at a drawn point, strike,
+// backoff, winning retry — by planning a spurious abort on every
+// transaction. It gates the cost of the containment/retry machinery
+// itself, independent of real contention.
+func BenchmarkNativeSpuriousAbortRetry(b *testing.B) {
+	m := mem.New()
+	ctr := m.Alloc(mem.WordSize, mem.LineSize)
+	sys := New(m, Config{Threads: 1, Chaos: ChaosSpec{Abort: 1, Seed: 1}})
+	runBenchThreads(b, sys, 1, func(th tm.Thread, id int) error {
+		return th.Atomic(func(tx tm.Txn) error {
+			tx.Store(ctr, tx.Load(ctr)+1)
+			return nil
+		})
+	})
+}

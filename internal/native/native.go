@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hastm.dev/hastm/internal/mem"
 	"hastm.dev/hastm/internal/stats"
@@ -78,6 +79,13 @@ type Config struct {
 	// Stripes is the size of the versioned-write-lock table; 0 means
 	// 1<<14. Must be a power of two.
 	Stripes int
+	// Chaos arms the native fault-injection plane (off when zero). See
+	// ChaosSpec and ParseChaosSpec for the spec grammar.
+	Chaos ChaosSpec
+	// Watchdog configures the host watchdog plane; zero fields take the
+	// defaults documented on Watchdog. The bounded waitForChange deadline
+	// is always in force, the scanner only after StartWatchdog.
+	Watchdog Watchdog
 }
 
 // System is one native TL2 instance over a memory.
@@ -95,13 +103,24 @@ type System struct {
 	serial sync.RWMutex
 	armed  bool
 
-	// retryMu/retryCond implement Txn.Retry wakeup: waiters re-check
-	// their watched stripes under retryMu; every writer commit broadcasts.
-	retryMu   sync.Mutex
-	retryCond *sync.Cond
+	// wakeMu/wakeCh implement Txn.Retry wakeup as a generation channel:
+	// every writer commit closes the current channel and installs a fresh
+	// one; waiters snapshot the channel before re-checking their watched
+	// stripes, so a change can never slip between the check and the wait.
+	// Unlike a sync.Cond this supports the bounded wake deadline.
+	wakeMu sync.Mutex
+	wakeCh chan struct{}
 
 	arenaNext atomic.Uint64
 	arenaEnd  uint64
+
+	// commitSeq counts every commit (revocable or irrevocable); failed
+	// holds the first watchdog violation. Together they are the watchdog
+	// plane's shared state (see watchdog.go).
+	commitSeq atomic.Uint64
+	failed    atomic.Pointer[NativeProgressViolation]
+	wdStop    chan struct{}
+	wdDone    chan struct{}
 
 	stats   *stats.Machine
 	telem   *telemetry.Machine
@@ -124,6 +143,7 @@ func New(m *mem.Memory, cfg Config) *System {
 	if cfg.Stripes&(cfg.Stripes-1) != 0 {
 		panic(fmt.Sprintf("native: Config.Stripes %d is not a power of two", cfg.Stripes))
 	}
+	cfg.Watchdog = cfg.Watchdog.withDefaults()
 	s := &System{
 		m:       m,
 		cfg:     cfg,
@@ -134,7 +154,7 @@ func New(m *mem.Memory, cfg Config) *System {
 		telem:   telemetry.NewMachine(cfg.Threads),
 		threads: make([]*Thread, cfg.Threads),
 	}
-	s.retryCond = sync.NewCond(&s.retryMu)
+	s.wakeCh = make(chan struct{})
 	arena := m.Preallocate(cfg.ArenaBytes)
 	s.arenaNext.Store(arena)
 	s.arenaEnd = arena + cfg.ArenaBytes
@@ -164,7 +184,7 @@ func (s *System) Thread(id int) tm.Thread {
 		panic(fmt.Sprintf("native: thread id %d out of range [0,%d)", id, len(s.threads)))
 	}
 	if s.threads[id] == nil {
-		s.threads[id] = &Thread{
+		t := &Thread{
 			sys:      s,
 			id:       id,
 			lockWord: uint64(id)<<1 | 1,
@@ -174,6 +194,11 @@ func (s *System) Thread(id int) tm.Thread {
 			owned:    make(map[int]uint64, 16),
 			fsm:      tm.AttemptFSM{RetryBudget: s.cfg.TM.Progress.RetryBudget},
 		}
+		t.boRng = chaosMix(0x626b6f666668a5a5, uint64(id))
+		if s.cfg.Chaos.Enabled() {
+			t.chaos = newChaosThread(s.cfg.Chaos, id)
+		}
+		s.threads[id] = t
 	}
 	return s.threads[id]
 }
@@ -184,7 +209,8 @@ func (s *System) stripeIndex(addr uint64) int {
 }
 
 // alloc carves a transactional allocation out of the arena with an atomic
-// bump; concurrency-safe, panics on exhaustion (raise Config.ArenaBytes).
+// bump; concurrency-safe. Exhaustion raises an arenaExhausted panic that
+// the enclosing Atomic's containment turns into ErrArenaExhausted.
 func (s *System) alloc(size, align uint64) uint64 {
 	if align < mem.WordSize {
 		align = mem.WordSize
@@ -200,7 +226,7 @@ func (s *System) alloc(size, align uint64) uint64 {
 		addr := (cur + align - 1) &^ (align - 1)
 		next := addr + ((size + mem.WordSize - 1) &^ (mem.WordSize - 1))
 		if next > s.arenaEnd {
-			panic(fmt.Sprintf("native: arena exhausted (%d bytes); raise Config.ArenaBytes", s.cfg.ArenaBytes))
+			panic(arenaExhausted{need: size, arena: s.cfg.ArenaBytes})
 		}
 		if s.arenaNext.CompareAndSwap(cur, next) {
 			return addr
@@ -208,22 +234,29 @@ func (s *System) alloc(size, align uint64) uint64 {
 	}
 }
 
-// notifyCommit wakes every retry waiter to re-check its watch set. The
-// committer's stripe releases happen before the broadcast and waiters
-// re-check under retryMu, so a change can never slip between a waiter's
-// check and its wait.
+// notifyCommit wakes every retry waiter to re-check its watch set by
+// retiring the current wake-channel generation. The committer's stripe
+// releases happen before the close, and waiters snapshot the channel
+// before checking their stripes, so a change can never slip between a
+// waiter's check and its wait.
 func (s *System) notifyCommit() {
-	s.retryMu.Lock()
-	s.retryCond.Broadcast()
-	s.retryMu.Unlock()
+	s.wakeMu.Lock()
+	close(s.wakeCh)
+	s.wakeCh = make(chan struct{})
+	s.wakeMu.Unlock()
 }
 
 // waitForChange blocks until some watched stripe's word differs from the
 // version recorded when it was read (a new version, or a write-lock in
-// flight). A transaction that called Retry without reading anything has
-// an empty watch set and blocks forever — nothing could legitimately wake
-// it, the same deadlock the simulator backends exhibit.
-func (s *System) waitForChange(watch []readEntry) {
+// flight). The wait is bounded by the watchdog's WakeDeadline: a waiter
+// that sees no notification within the deadline re-validates the watch
+// set and re-arms (counted in telemetry as a wakeup timeout), so a lost
+// or delayed wakeup degrades to a re-check instead of a permanent hang.
+// A transaction that called Retry without reading anything has an empty
+// watch set and, absent a watchdog trip, re-checks forever — nothing
+// could legitimately wake it, the same deadlock the simulator backends
+// exhibit.
+func (s *System) waitForChange(t *Thread, watch []readEntry) {
 	changed := func() bool {
 		for _, e := range watch {
 			if s.stripes[e.ix].v.Load() != e.ver {
@@ -232,9 +265,27 @@ func (s *System) waitForChange(watch []readEntry) {
 		}
 		return false
 	}
-	s.retryMu.Lock()
-	for !changed() {
-		s.retryCond.Wait()
+	deadline := s.cfg.Watchdog.WakeDeadline
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for {
+		s.wakeMu.Lock()
+		ch := s.wakeCh
+		s.wakeMu.Unlock()
+		if s.failed.Load() != nil {
+			panic(stopSignal{})
+		}
+		if changed() {
+			return
+		}
+		select {
+		case <-ch:
+			if t.chaos != nil && t.chaos.wakeDelay() {
+				t.tb.Inc(telemetry.ChaosInjected)
+			}
+		case <-timer.C:
+			t.tb.Inc(telemetry.WakeupTimeouts)
+			timer.Reset(deadline)
+		}
 	}
-	s.retryMu.Unlock()
 }

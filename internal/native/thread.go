@@ -1,8 +1,11 @@
 package native
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hastm.dev/hastm/internal/sim"
@@ -69,6 +72,14 @@ type Thread struct {
 	// straight onto the serial path). Consumed by Atomic; inert when the
 	// ladder is not armed.
 	serializeNext bool
+
+	// opSeq is odd while the thread is inside a top-level Atomic; the
+	// watchdog reads it to tell a stuck transaction from an idle thread.
+	opSeq atomic.Uint64
+	// boRng seeds hostBackoff's jitter; chaos is the thread's fault
+	// stream (nil when the plane is disabled).
+	boRng uint64
+	chaos *chaosThread
 }
 
 var (
@@ -109,27 +120,76 @@ func (t *Thread) spinLimit() int {
 	}
 }
 
+// backoffCapShift caps hostBackoff's exponential window at
+// 1µs << 6 = 64µs: long enough to drain any commit section, short enough
+// that a transiently unlucky thread recovers quickly.
+const backoffCapShift = 6
+
 // hostBackoff yields between failed attempts; real time replaces the
-// simulator's charged backoff cycles.
+// simulator's charged backoff cycles. Past the Gosched grace strikes the
+// sleep is drawn uniformly from the upper half of a capped exponential
+// window — the seeded per-thread jitter keeps two threads that aborted on
+// the same stripe from re-colliding in lockstep, the same reason
+// tm.Backoff jitters the simulated schemes.
 func (t *Thread) hostBackoff() {
 	n := t.fsm.Strikes()
 	if n < 4 {
 		runtime.Gosched()
 		return
 	}
-	if n > 10 {
-		n = 10
+	shift := n - 4
+	if shift > backoffCapShift {
+		shift = backoffCapShift
 	}
-	time.Sleep(time.Microsecond << (n - 4))
+	window := uint64(time.Microsecond) << shift
+	time.Sleep(time.Duration(window/2 + t.backoffRand()%(window/2+1)))
+}
+
+// backoffRand steps the thread's xorshift64 jitter stream.
+func (t *Thread) backoffRand() uint64 {
+	x := t.boRng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.boRng = x
+	return x
+}
+
+// spinYield cooperates with the scheduler while spinning on a locked
+// stripe: Gosched on most iterations, a real timed sleep periodically so
+// a descheduled holder gets CPU even when every P is busy spinning
+// (Threads > GOMAXPROCS), and a watchdog check so a permanently stuck
+// holder unwinds the spinner instead of pinning it forever.
+func (t *Thread) spinYield(spins int) {
+	if spins&(1<<10-1) == 0 && t.sys.failed.Load() != nil {
+		panic(stopSignal{})
+	}
+	if spins&(1<<12-1) == 0 {
+		time.Sleep(time.Microsecond)
+		return
+	}
+	runtime.Gosched()
 }
 
 // --- Atomic: the attempt loop ----------------------------------------------
 
 // Atomic runs body as a transaction, re-executing on conflict aborts and
 // escalating to serial irrevocable mode once the retry budget is spent.
-func (t *Thread) Atomic(body func(tm.Txn) error) error {
+//
+// Foreign panics do not escape: contain restores any stripe locks and the
+// serial lock the transaction held, resets the thread, and returns the
+// panic as a *TxnFault error (arena exhaustion as ErrArenaExhausted, a
+// watchdog trip as the NativeProgressViolation), matching the simulator's
+// PR 5 containment rule.
+func (t *Thread) Atomic(body func(tm.Txn) error) (err error) {
 	if t.inTxn {
 		return t.nestedAtomic(body)
+	}
+	t.opSeq.Add(1)
+	defer t.opSeq.Add(1)
+	defer t.contain(&err)
+	if t.chaos != nil {
+		t.chaos.beginTxn()
 	}
 	t.fsm.BeginTxn()
 	if t.serializeNext {
@@ -138,6 +198,9 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 	}
 	t.watch = t.watch[:0]
 	for {
+		if t.sys.failed.Load() != nil {
+			panic(stopSignal{})
+		}
 		if t.sys.armed && t.fsm.ShouldEscalate() {
 			return t.runIrrevocable(body)
 		}
@@ -148,9 +211,76 @@ func (t *Thread) Atomic(body func(tm.Txn) error) error {
 		if retryWait {
 			t.st.Retries++
 			t.fsm.OnRetryWait()
-			t.sys.waitForChange(t.watch)
+			t.chaosAt(pointWait)
+			t.sys.waitForChange(t, t.watch)
 		} else {
 			t.hostBackoff()
+		}
+	}
+}
+
+// chaosAt fires the thread's pending injections for point p, if any;
+// reports whether a spurious abort was injected.
+func (t *Thread) chaosAt(p chaosPoint) bool {
+	if t.chaos == nil {
+		return false
+	}
+	fired, abort := t.chaos.at(p)
+	for i := 0; i < fired; i++ {
+		t.tb.Inc(telemetry.ChaosInjected)
+	}
+	return abort
+}
+
+// contain is Atomic's recovery rail: it intercepts everything except
+// engine signals (which never escape the attempt machinery — one here is
+// an engine bug and re-panics), repairs shared state — stripe locks back
+// to pre-lock versions, the irrevocable undo log replayed and the serial
+// lock released — and converts the panic into the transaction's error.
+func (t *Thread) contain(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	t.releaseOwnedIfHeld()
+	wasIrrevocable := t.irrevocable
+	if wasIrrevocable {
+		for i := len(t.undo) - 1; i >= 0; i-- {
+			t.sys.m.StoreAtomic(t.undo[i].addr, t.undo[i].old)
+		}
+		t.undo = t.undo[:0]
+		t.sys.serial.Unlock()
+	}
+	t.inTxn, t.irrevocable = false, false
+	switch v := r.(type) {
+	case stopSignal:
+		if *err = t.sys.CheckHealth(); *err == nil {
+			*err = &NativeProgressViolation{Kind: "commit-stall", Holder: t.id, Stripe: -1}
+		}
+	case arenaExhausted:
+		*err = fmt.Errorf("%w (allocation of %d bytes, arena %d bytes)", ErrArenaExhausted, v.need, v.arena)
+	default:
+		if tm.IsEngineSignal(r) {
+			panic(r)
+		}
+		t.tb.Inc(telemetry.ContainedFaults)
+		*err = &TxnFault{
+			Thread:      t.id,
+			Irrevocable: wasIrrevocable,
+			Value:       fmt.Sprint(r),
+			Stack:       string(debug.Stack()),
+		}
+	}
+}
+
+// releaseOwnedIfHeld restores the pre-lock version of every stripe the
+// thread still holds. After a completed commit or abort the stripes no
+// longer carry the thread's lock word, so stale owned entries are inert.
+func (t *Thread) releaseOwnedIfHeld() {
+	for ix, old := range t.owned {
+		sp := &t.sys.stripes[ix]
+		if sp.v.Load() == t.lockWord {
+			sp.v.Store(old)
 		}
 	}
 }
@@ -270,7 +400,7 @@ func (t *Thread) Load(addr uint64) uint64 {
 			if spins > t.spinLimit() {
 				panic(tm.AbortSignal{Cause: stats.AbortLockConflict})
 			}
-			runtime.Gosched()
+			t.spinYield(spins)
 			continue
 		}
 		if v1 > t.rv {
@@ -356,6 +486,7 @@ func (t *Thread) commit() (stats.AbortCause, bool) {
 		// at rv and serializes there.
 		t.lastStamp = t.rv
 		t.st.Commits++
+		t.sys.commitSeq.Add(1)
 		return 0, true
 	}
 
@@ -382,7 +513,19 @@ func (t *Thread) commit() (stats.AbortCause, bool) {
 		t.owned[ix] = old
 	}
 
+	// Chaos point: the full write set is locked, wv not yet taken — a
+	// stall here is exactly a descheduled committer.
+	if t.chaosAt(pointPostLock) {
+		t.releaseOwned(0)
+		return stats.AbortLockConflict, false
+	}
+
 	wv := t.sys.clock.Add(2)
+
+	if t.chaosAt(pointPreValidate) {
+		t.releaseOwned(0)
+		return stats.AbortLockConflict, false
+	}
 
 	// Revalidate the read set unless nothing committed since our snapshot
 	// (rv+2 == wv means we took the only clock tick).
@@ -402,6 +545,11 @@ func (t *Thread) commit() (stats.AbortCause, bool) {
 		}
 	}
 
+	if t.chaosAt(pointPreWriteBack) {
+		t.releaseOwned(0)
+		return stats.AbortLockConflict, false
+	}
+
 	// Publish the newest buffered value of every address, then release the
 	// stripes to wv: the new versions become visible only after the data.
 	for addr, i := range t.windex {
@@ -411,6 +559,7 @@ func (t *Thread) commit() (stats.AbortCause, bool) {
 
 	t.lastStamp = wv
 	t.st.Commits++
+	t.sys.commitSeq.Add(1)
 	t.sys.notifyCommit()
 	return 0, true
 }
@@ -433,7 +582,7 @@ func (t *Thread) acquireStripe(ix int) (old uint64, ok bool) {
 		if spins > limit {
 			return 0, false
 		}
-		runtime.Gosched()
+		t.spinYield(spins)
 	}
 }
 
@@ -568,6 +717,11 @@ func (t *Thread) runIrrevocable(body func(tm.Txn) error) error {
 	t.reads = t.reads[:0]
 	t.writes = t.writes[:0]
 	t.saves = t.saves[:0]
+	// Chaos point: the serial lock is held exclusively — a stall here
+	// drains every revocable attempt against the irrevocable window. A
+	// foreign panic from the body unwinds to Atomic's contain, which
+	// replays the undo log and releases the serial lock.
+	t.chaosAt(pointIrrevocable)
 
 	var result error
 	var escaped interface{}
@@ -616,6 +770,7 @@ func (t *Thread) commitIrrevocable() {
 	}
 	t.lastStamp = wv
 	t.st.Commits++
+	t.sys.commitSeq.Add(1)
 	t.tb.ObserveMax(telemetry.UndoLogHWM, uint64(len(t.undo)))
 	t.tb.ObserveMax(telemetry.RetryDepthHWM, uint64(t.fsm.Attempt()))
 }

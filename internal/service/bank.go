@@ -136,8 +136,15 @@ func (b *Bank) decode(r *workloads.Rand) (class opClass, key, key2, amount uint6
 // primary key and whether it writes. The admission controller consults it
 // before the transaction begins.
 func (b *Bank) Classify(opSeed uint64) (key uint64, writes bool) {
-	class, k, _, _ := b.decode(workloads.NewRand(opSeed))
+	k, class := b.classify(opSeed)
 	return k, class == ClassTransfer
+}
+
+// classify is Classify with the full request class, for the degradation
+// ladder's class-aware shedding.
+func (b *Bank) classify(opSeed uint64) (key uint64, class opClass) {
+	class, k, _, _ := b.decode(workloads.NewRand(opSeed))
+	return k, class
 }
 
 // Op performs one request inside the caller's transaction. The update

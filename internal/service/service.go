@@ -14,11 +14,17 @@ import (
 // run per core on deterministic state, so the simulator backend's reports
 // stay byte-identical across worker counts and schedulers.
 type AdmissionConfig struct {
-	// ShedAfter sheds a request whose queueing delay (time between its
-	// scheduled arrival and the core picking it up) exceeds this budget —
-	// simulated cycles on the sim backend, nanoseconds on native. 0
-	// disables queue-delay shedding.
-	ShedAfter uint64
+	// ShedAfterCycles sheds a request whose queueing delay (time between
+	// its scheduled arrival and the core picking it up) exceeds this many
+	// simulated cycles. Read only by the sim backend; 0 disables
+	// queue-delay shedding there. The budget is split per backend because
+	// the two clocks measure different things — a simulated cycle is not a
+	// nanosecond, and one field serving both silently conflated the units.
+	ShedAfterCycles uint64
+	// ShedAfterNS is the native backend's queue-delay budget in host
+	// nanoseconds. Read only by the native backend; 0 disables queue-delay
+	// shedding there.
+	ShedAfterNS uint64
 	// HotThreshold declares a key hot when the core has observed this many
 	// conflict aborts against it within the current decay window. 0
 	// disables hot-key detection.
@@ -46,6 +52,9 @@ type Config struct {
 	MeanGap   uint64
 	Seed      uint64
 	Admission AdmissionConfig
+	// Degrade arms the graceful-degradation ladder (see DegradeConfig);
+	// the zero value disables it on both backends.
+	Degrade DegradeConfig
 }
 
 // CellMetrics accumulates one core's service observations; the harness
@@ -56,6 +65,16 @@ type CellMetrics struct {
 	Shed       uint64
 	Serialized uint64
 	Hist       Histogram
+
+	// Degradation-ladder accounting. The class sheds are included in Shed
+	// (offered == committed + shed always holds); engaged/recovered count
+	// ladder transitions, and MaxDegradeLevel is the deepest level any
+	// core reached.
+	ShedScans        uint64
+	ShedTransfers    uint64
+	DegradeEngaged   uint64
+	DegradeRecovered uint64
+	MaxDegradeLevel  int
 }
 
 // Merge folds o into m.
@@ -65,6 +84,23 @@ func (m *CellMetrics) Merge(o *CellMetrics) {
 	m.Shed += o.Shed
 	m.Serialized += o.Serialized
 	m.Hist.Merge(&o.Hist)
+	m.ShedScans += o.ShedScans
+	m.ShedTransfers += o.ShedTransfers
+	m.DegradeEngaged += o.DegradeEngaged
+	m.DegradeRecovered += o.DegradeRecovered
+	if o.MaxDegradeLevel > m.MaxDegradeLevel {
+		m.MaxDegradeLevel = o.MaxDegradeLevel
+	}
+}
+
+// noteClassShed attributes a degradation-ladder shed to its class.
+func (m *CellMetrics) noteClassShed(cause string) {
+	switch cause {
+	case "slo-scan":
+		m.ShedScans++
+	case "slo-transfer":
+		m.ShedTransfers++
+	}
 }
 
 // admission is one core's admission-control state: per-key conflict-abort
@@ -154,6 +190,8 @@ func RunCoreSim(c *sim.Ctx, th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, 
 	base := seedBase(cfg.Seed, c.ID())
 	gaps := workloads.NewRand(base ^ 0xa5a5a5a55a5a5a5a)
 	adm := newAdmission(cfg.Admission)
+	deg := newDegrade(cfg.Degrade, cfg.Degrade.SLOCycles)
+	defer deg.fold(cm)
 	arrival := c.Clock()
 	for i := 0; i < cfg.Requests; i++ {
 		arrival += drawGap(gaps, cfg.MeanGap)
@@ -163,17 +201,31 @@ func RunCoreSim(c *sim.Ctx, th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, 
 		cm.Offered++
 		adm.tick()
 		seed := opSeed(base, i)
-		key, writes := b.Classify(seed)
-		if cfg.Admission.ShedAfter > 0 && c.Clock()-arrival > cfg.Admission.ShedAfter {
+		key, class := b.classify(seed)
+		writes := class == ClassTransfer
+		if cfg.Admission.ShedAfterCycles > 0 && c.Clock()-arrival > cfg.Admission.ShedAfterCycles {
 			cm.Shed++
 			c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvShed, Cause: "queue-delay"})
 			continue
 		}
+		if shed, cause := deg.shouldShed(class); shed {
+			cm.Shed++
+			cm.noteClassShed(cause)
+			c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvShed, Cause: cause})
+			continue
+		}
 		serialize := false
 		if writes && adm.hot(key) {
-			if cfg.Admission.Serialize {
+			switch {
+			case deg.circuitOpen():
+				// Degraded: the hot-key circuit is open, shed instead of
+				// feeding the serial path during an overload.
+				cm.Shed++
+				c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvShed, Cause: "hot-key-open"})
+				continue
+			case cfg.Admission.Serialize:
 				serialize = true
-			} else {
+			default:
 				cm.Shed++
 				c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvShed, Cause: "hot-key"})
 				continue
@@ -199,7 +251,11 @@ func RunCoreSim(c *sim.Ctx, th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, 
 			adm.noteAborts(key, attempts-1)
 		}
 		cm.Committed++
-		cm.Hist.Record(c.Clock() - arrival)
+		lat := c.Clock() - arrival
+		cm.Hist.Record(lat)
+		if cause := deg.observe(lat); cause != "" {
+			c.EmitTxn(telemetry.TxnEvent{Txn: uint64(i), Kind: telemetry.EvDegrade, Cause: cause})
+		}
 		if log != nil {
 			log.Add(workloads.OpRecord{Thread: c.ID(), Index: i, Seed: seed, Update: writes, Stamp: th.Stamp()})
 		}
@@ -216,6 +272,8 @@ func RunCoreNative(th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, log *work
 	base := seedBase(cfg.Seed, th.ID())
 	gaps := workloads.NewRand(base ^ 0xa5a5a5a55a5a5a5a)
 	adm := newAdmission(cfg.Admission)
+	deg := newDegrade(cfg.Degrade, cfg.Degrade.SLONS)
+	defer deg.fold(cm)
 	start := time.Now()
 	var arrival time.Duration
 	for i := 0; i < cfg.Requests; i++ {
@@ -226,16 +284,26 @@ func RunCoreNative(th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, log *work
 		cm.Offered++
 		adm.tick()
 		seed := opSeed(base, i)
-		key, writes := b.Classify(seed)
-		if wait := time.Since(start) - arrival; cfg.Admission.ShedAfter > 0 && wait > time.Duration(cfg.Admission.ShedAfter) {
+		key, class := b.classify(seed)
+		writes := class == ClassTransfer
+		if wait := time.Since(start) - arrival; cfg.Admission.ShedAfterNS > 0 && wait > time.Duration(cfg.Admission.ShedAfterNS) {
 			cm.Shed++
+			continue
+		}
+		if shed, cause := deg.shouldShed(class); shed {
+			cm.Shed++
+			cm.noteClassShed(cause)
 			continue
 		}
 		serialize := false
 		if writes && adm.hot(key) {
-			if cfg.Admission.Serialize {
+			switch {
+			case deg.circuitOpen():
+				cm.Shed++
+				continue
+			case cfg.Admission.Serialize:
 				serialize = true
-			} else {
+			default:
 				cm.Shed++
 				continue
 			}
@@ -259,7 +327,9 @@ func RunCoreNative(th tm.Thread, b *Bank, cfg Config, cm *CellMetrics, log *work
 			adm.noteAborts(key, attempts-1)
 		}
 		cm.Committed++
-		cm.Hist.Record(uint64(time.Since(start) - arrival))
+		lat := uint64(time.Since(start) - arrival)
+		cm.Hist.Record(lat)
+		deg.observe(lat)
 		if log != nil {
 			log.Add(workloads.OpRecord{Thread: th.ID(), Index: i, Seed: seed, Update: writes, Stamp: th.Stamp()})
 		}

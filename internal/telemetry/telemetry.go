@@ -78,6 +78,16 @@ const (
 	// counter: tests assert it stays zero (the only possible cause is a
 	// version-history prune miss).
 	SnapshotAborts
+	// ChaosInjected counts native chaos-plane injections that actually
+	// fired (stalls, preemptions, spurious aborts, delayed wakeups).
+	ChaosInjected
+	// WakeupTimeouts counts retry waiters whose bounded waitForChange
+	// deadline expired without a commit notification, forcing a watch-set
+	// re-validation — the counted degradation of a lost or delayed wakeup.
+	WakeupTimeouts
+	// ContainedFaults counts foreign panics contained inside native atomic
+	// blocks and surfaced as TxnFault errors.
+	ContainedFaults
 	numCounters
 )
 
@@ -98,6 +108,9 @@ var counterNames = [numCounters]string{
 	MVCCUpgrades:          "mvcc_upgrades",
 	MVCCWriterRestarts:    "mvcc_writer_restarts",
 	SnapshotAborts:        "snapshot_aborts",
+	ChaosInjected:         "chaos_injected",
+	WakeupTimeouts:        "wakeup_timeouts",
+	ContainedFaults:       "contained_faults",
 }
 
 func (c Counter) String() string {

@@ -70,6 +70,12 @@ const (
 	// counters and traced abort events must stay in one-to-one
 	// correspondence).
 	EvWriterRestart = "writer-restart"
+	// EvDegrade marks a graceful-degradation ladder transition on a
+	// service core: the cause names the level engaged ("shed-scans",
+	// "shed-transfers") or "recover" when one disengages. Informational:
+	// the shed requests themselves appear as EvShed events with
+	// slo-scan/slo-transfer/hot-key-open causes.
+	EvDegrade = "degrade"
 )
 
 // TraceBuffer collects transaction events from every core of one machine.
